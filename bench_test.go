@@ -1,0 +1,408 @@
+// Benchmarks regenerating the measurements behind EXPERIMENTS.md: one
+// bench per experiment (E1–E8) plus microbenchmarks of the substrates.
+// Shape metrics (class fractions, coverage) are attached via
+// b.ReportMetric so `go test -bench` output carries them alongside the
+// timings; the full tables come from `go run ./cmd/goofi-experiments`.
+package goofi_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"goofi/internal/analysis"
+	"goofi/internal/asm"
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/faultmodel"
+	"goofi/internal/preinject"
+	"goofi/internal/scifi"
+	"goofi/internal/sqldb"
+	"goofi/internal/swifi"
+	"goofi/internal/thor"
+	"goofi/internal/trigger"
+	"goofi/internal/workload"
+)
+
+func benchStore(b *testing.B) (*campaign.Store, *campaign.TargetSystemData) {
+	b.Helper()
+	st, err := campaign.NewStore(sqldb.Open())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tsd := scifi.TargetSystemData("thor-board")
+	if err := st.PutTargetSystem(tsd); err != nil {
+		b.Fatal(err)
+	}
+	return st, tsd
+}
+
+func sortCampaign(name string, n int, seed int64, locs []string) *campaign.Campaign {
+	return &campaign.Campaign{
+		Name:           name,
+		TargetName:     "thor-board",
+		ChainName:      "internal",
+		Locations:      locs,
+		FaultModel:     faultmodel.Spec{Kind: faultmodel.Transient},
+		Trigger:        trigger.Spec{Kind: "cycle"},
+		RandomWindow:   [2]uint64{10, 1600},
+		NumExperiments: n,
+		Seed:           seed,
+		Termination:    campaign.Termination{TimeoutCycles: 100_000},
+		Workload:       workload.Sort(),
+		LogMode:        campaign.LogNormal,
+	}
+}
+
+func pidCampaign(name string, n int, seed int64) *campaign.Campaign {
+	wl := workload.PID()
+	wl.OutputTail = 10
+	wl.OutputTolerance = 512
+	wl.ResultTolerance = 512
+	return &campaign.Campaign{
+		Name:           name,
+		TargetName:     "thor-board",
+		ChainName:      "internal",
+		Locations:      []string{"cpu", "icache", "dcache"},
+		FaultModel:     faultmodel.Spec{Kind: faultmodel.Transient},
+		Trigger:        trigger.Spec{Kind: "cycle"},
+		RandomWindow:   [2]uint64{200, 8000},
+		NumExperiments: n,
+		Seed:           seed,
+		Termination:    campaign.Termination{TimeoutCycles: 400_000, MaxIterations: 80},
+		Workload:       wl,
+		EnvSim:         &campaign.EnvSimSpec{Name: "first-order-plant"},
+		LogMode:        campaign.LogNormal,
+	}
+}
+
+func runCampaign(b *testing.B, st *campaign.Store, tsd *campaign.TargetSystemData,
+	tgt core.TargetSystem, alg core.Algorithm, camp *campaign.Campaign,
+	opts ...core.RunnerOption) (*core.Summary, *analysis.Report) {
+	b.Helper()
+	if err := st.PutCampaign(camp); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.DeleteExperiments(camp.Name); err != nil {
+		b.Fatal(err)
+	}
+	opts = append(opts, core.WithStore(st))
+	r, err := core.NewRunner(tgt, alg, camp, tsd, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := analysis.AnalyzeAndStore(st, camp.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sum, rep
+}
+
+// BenchmarkSCIFIExperiment measures one complete SCIFI fault injection
+// experiment (Fig 2 sequence) including scan-chain read/inject/write.
+func BenchmarkSCIFIExperiment(b *testing.B) {
+	camp := sortCampaign("bench-one", 1, 1, []string{"cpu"})
+	tgt := scifi.New(thor.DefaultConfig())
+	f, err := thor.ScanFieldByName("cpu.r3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := &core.Experiment{
+			Campaign: camp, Seq: 0, Name: "bench/exp",
+			Fault:   &faultmodel.Fault{Kind: faultmodel.Transient, Bits: []int{f.Offset + i%32}},
+			Trigger: trigger.Spec{Kind: "cycle", Cycle: 1000},
+		}
+		if err := core.SCIFI.Run(tgt, ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignPID is experiment E1: a SCIFI campaign over the PID
+// control application with the taxonomy fractions reported as metrics.
+func BenchmarkCampaignPID(b *testing.B) {
+	const n = 40
+	st, tsd := benchStore(b)
+	var rep *analysis.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rep = runCampaign(b, st, tsd, scifi.New(thor.DefaultConfig()), core.SCIFI,
+			pidCampaign("bench-e1", n, int64(i+1)))
+	}
+	b.StopTimer()
+	b.ReportMetric(rep.Fraction(analysis.ClassDetected), "detected/inj")
+	b.ReportMetric(rep.Fraction(analysis.ClassEscaped), "escaped/inj")
+	b.ReportMetric(rep.Fraction(analysis.ClassLatent), "latent/inj")
+	b.ReportMetric(rep.Fraction(analysis.ClassOverwritten), "overwritten/inj")
+	b.ReportMetric(rep.Coverage.P, "coverage")
+}
+
+// BenchmarkNormalVsDetailMode is experiment E2: detail-mode logging cost.
+func BenchmarkNormalVsDetailMode(b *testing.B) {
+	for _, mode := range []campaign.LogMode{campaign.LogNormal, campaign.LogDetail} {
+		b.Run(string(mode), func(b *testing.B) {
+			st, tsd := benchStore(b)
+			camp := sortCampaign("bench-e2", 5, 3, []string{"cpu"})
+			camp.Termination.TimeoutCycles = 30_000
+			camp.LogMode = mode
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runCampaign(b, st, tsd, scifi.New(thor.DefaultConfig()), core.SCIFI, camp)
+			}
+		})
+	}
+}
+
+// BenchmarkSCIFIvsSWIFI is experiment E3: per-experiment cost and
+// effectiveness of the two techniques on the same workload.
+func BenchmarkSCIFIvsSWIFI(b *testing.B) {
+	const n = 30
+	b.Run("scifi", func(b *testing.B) {
+		st, tsd := benchStore(b)
+		var rep *analysis.Report
+		for i := 0; i < b.N; i++ {
+			_, rep = runCampaign(b, st, tsd, scifi.New(thor.DefaultConfig()), core.SCIFI,
+				sortCampaign("bench-e3s", n, 7, []string{"cpu", "icache", "dcache"}))
+		}
+		b.ReportMetric(rep.Coverage.P, "coverage")
+		b.ReportMetric(rep.EffectiveRate.P, "effective")
+	})
+	b.Run("swifi-preruntime", func(b *testing.B) {
+		imgSize, err := swifi.ImageSize(workload.Sort().Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := campaign.NewStore(sqldb.Open())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tsd := swifi.TargetSystemData("thor-swifi", imgSize)
+		if err := st.PutTargetSystem(tsd); err != nil {
+			b.Fatal(err)
+		}
+		camp := sortCampaign("bench-e3w", n, 7, []string{"mem"})
+		camp.TargetName = "thor-swifi"
+		camp.ChainName = swifi.MemoryChainName
+		camp.RandomWindow = [2]uint64{}
+		camp.Trigger = trigger.Spec{Kind: "cycle", Cycle: 0}
+		var rep *analysis.Report
+		for i := 0; i < b.N; i++ {
+			_, rep = runCampaign(b, st, tsd, swifi.New(thor.DefaultConfig(), swifi.PreRuntime),
+				core.PreRuntimeSWIFI, camp)
+		}
+		b.ReportMetric(rep.Coverage.P, "coverage")
+		b.ReportMetric(rep.EffectiveRate.P, "effective")
+	})
+}
+
+// BenchmarkAssertionsRecovery is experiment E4: the hardened controller's
+// critical-failure fraction vs the bare one.
+func BenchmarkAssertionsRecovery(b *testing.B) {
+	const n = 30
+	variants := []struct {
+		name string
+		wl   campaign.WorkloadSpec
+	}{
+		{"bare", workload.PID()},
+		{"hardened", workload.PIDAssert()},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			st, tsd := benchStore(b)
+			camp := pidCampaign("bench-e4", n, 42)
+			wl := v.wl
+			wl.OutputTail = 10
+			wl.OutputTolerance = 512
+			wl.ResultTolerance = 512
+			camp.Workload = wl
+			camp.Locations = []string{"cpu"}
+			camp.EnvSim = &campaign.EnvSimSpec{Name: "engine"}
+			camp.Termination.MaxIterations = 100
+			var rep *analysis.Report
+			for i := 0; i < b.N; i++ {
+				_, rep = runCampaign(b, st, tsd, scifi.New(thor.DefaultConfig()), core.SCIFI, camp)
+			}
+			b.ReportMetric(rep.Fraction(analysis.ClassEscaped), "critical/inj")
+			b.ReportMetric(float64(rep.Recovered), "recoveries")
+		})
+	}
+}
+
+// BenchmarkPreInjection is experiment E5: the liveness filter's cost and
+// its effective-yield improvement.
+func BenchmarkPreInjection(b *testing.B) {
+	const n = 30
+	regs := make([]string, 0, thor.NumRegs)
+	for i := 0; i < thor.NumRegs; i++ {
+		regs = append(regs, fmt.Sprintf("cpu.r%d", i))
+	}
+	b.Run("analysis", func(b *testing.B) {
+		camp := sortCampaign("bench-e5a", n, 5, regs)
+		for i := 0; i < b.N; i++ {
+			if _, err := preinject.AnalyzeWorkload(thor.DefaultConfig(), camp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, filtered := range []bool{false, true} {
+		name := "plain"
+		if filtered {
+			name = "filtered"
+		}
+		b.Run(name, func(b *testing.B) {
+			st, tsd := benchStore(b)
+			camp := sortCampaign("bench-e5-"+name, n, 5, regs)
+			var opts []core.RunnerOption
+			if filtered {
+				a, err := preinject.AnalyzeWorkload(thor.DefaultConfig(), camp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts = append(opts, core.WithInjectionFilter(a.Filter()))
+			}
+			var rep *analysis.Report
+			for i := 0; i < b.N; i++ {
+				_, rep = runCampaign(b, st, tsd, scifi.New(thor.DefaultConfig()), core.SCIFI, camp, opts...)
+			}
+			b.ReportMetric(rep.EffectiveRate.P, "effective")
+		})
+	}
+}
+
+// BenchmarkFaultModels is experiment E6: the four fault models on the
+// same fault locations.
+func BenchmarkFaultModels(b *testing.B) {
+	const n = 30
+	models := []faultmodel.Spec{
+		{Kind: faultmodel.Transient},
+		{Kind: faultmodel.Intermittent, ActiveProb: 0.3},
+		{Kind: faultmodel.StuckAt0},
+		{Kind: faultmodel.StuckAt1},
+	}
+	for _, m := range models {
+		b.Run(string(m.Kind), func(b *testing.B) {
+			st, tsd := benchStore(b)
+			camp := sortCampaign("bench-e6", n, 11, []string{"cpu"})
+			camp.FaultModel = m
+			var rep *analysis.Report
+			for i := 0; i < b.N; i++ {
+				_, rep = runCampaign(b, st, tsd, scifi.New(thor.DefaultConfig()), core.SCIFI, camp)
+			}
+			b.ReportMetric(rep.EffectiveRate.P, "effective")
+			b.ReportMetric(rep.Fraction(analysis.ClassOverwritten), "overwritten/inj")
+		})
+	}
+}
+
+// BenchmarkLoggedStateInsert is experiment E7: LoggedSystemState insert
+// throughput.
+func BenchmarkLoggedStateInsert(b *testing.B) {
+	st, tsd := benchStore(b)
+	camp := sortCampaign("bench-e7", 1, 1, []string{"cpu"})
+	if err := st.PutCampaign(camp); err != nil {
+		b.Fatal(err)
+	}
+	_ = tsd
+	state := campaign.StateVector{Memory: map[string][]byte{"x": make([]byte, 64)}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := &campaign.ExperimentRecord{
+			Name:     fmt.Sprintf("bench-e7/row%09d", i),
+			Campaign: "bench-e7",
+			Step:     -1,
+			Data:     campaign.ExperimentData{Seq: i},
+			State:    state,
+		}
+		if err := st.LogExperiment(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTriggers is experiment E8: the cost of reaching the injection
+// point with each trigger kind (stepping with per-instruction predicates
+// vs plain cycle counting).
+func BenchmarkTriggers(b *testing.B) {
+	prog := workload.Sort()
+	specs := []trigger.Spec{
+		{Kind: "cycle", Cycle: 1500},
+		{Kind: "instret", Count: 300},
+		{Kind: "branch", Occurrence: 25},
+		{Kind: "rtc", Period: 640, Occurrence: 2},
+	}
+	for _, spec := range specs {
+		b.Run(spec.Kind, func(b *testing.B) {
+			img := mustAssemble(b, prog.Source)
+			for i := 0; i < b.N; i++ {
+				c := thor.New(thor.DefaultConfig())
+				if err := c.LoadMemory(0, img); err != nil {
+					b.Fatal(err)
+				}
+				tr, err := spec.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				fired, _ := trigger.RunUntil(c, tr, 100_000)
+				if !fired {
+					b.Fatal("trigger never fired")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanChainExchange measures one full internal-chain
+// read-modify-write through the TAP (the SCIFI injection primitive).
+func BenchmarkScanChainExchange(b *testing.B) {
+	tgt := scifi.New(thor.DefaultConfig())
+	ctrl := tgt.Controller()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := ctrl.ReadInternal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		v.Flip(i % v.Len())
+		if err := ctrl.WriteInternal(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCPUExecution measures raw THOR-S simulation speed.
+func BenchmarkCPUExecution(b *testing.B) {
+	img := mustAssemble(b, workload.Sort().Source)
+	c := thor.New(thor.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c.Reset()
+		c.ClearMemory()
+		if err := c.LoadMemory(0, img); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if st := c.Run(1_000_000); st != thor.StatusHalted {
+			b.Fatalf("status %v", st)
+		}
+	}
+	b.ReportMetric(float64(c.Instret()), "instrs/op")
+}
+
+func mustAssemble(b *testing.B, source string) []byte {
+	b.Helper()
+	prog, err := asm.Assemble(source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog.Image
+}

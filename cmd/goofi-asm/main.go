@@ -1,0 +1,88 @@
+// Command goofi-asm assembles THOR-S assembly source into a memory image
+// and disassembles images, for preparing custom workloads.
+//
+//	goofi-asm -o prog.bin prog.s          assemble
+//	goofi-asm -symbols prog.s             assemble and print symbols
+//	goofi-asm -d prog.bin                 disassemble
+//	goofi-asm -builtin sort16             print a built-in workload source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"goofi/internal/asm"
+	"goofi/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "goofi-asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("o", "", "output image file (assemble mode)")
+	disasm := flag.Bool("d", false, "disassemble an image instead of assembling")
+	symbols := flag.Bool("symbols", false, "print the symbol table")
+	listing := flag.Bool("listing", false, "print the disassembly listing after assembling")
+	builtin := flag.String("builtin", "", "print a built-in workload's source and exit")
+	flag.Parse()
+
+	if *builtin != "" {
+		spec, ok := workload.All()[*builtin]
+		if !ok {
+			return fmt.Errorf("unknown built-in workload %q", *builtin)
+		}
+		fmt.Print(spec.Source)
+		return nil
+	}
+	if flag.NArg() != 1 {
+		return fmt.Errorf("need exactly one input file")
+	}
+	input := flag.Arg(0)
+	data, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+
+	if *disasm {
+		for _, line := range asm.Disassemble(data) {
+			fmt.Println(line)
+		}
+		return nil
+	}
+
+	prog, err := asm.Assemble(string(data))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("assembled %s: %d bytes\n", input, len(prog.Image))
+	if *symbols {
+		names := make([]string, 0, len(prog.Symbols))
+		for n := range prog.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return prog.Symbols[names[i]] < prog.Symbols[names[j]]
+		})
+		for _, n := range names {
+			fmt.Printf("  %08x  %s\n", prog.Symbols[n], n)
+		}
+	}
+	if *listing {
+		for _, line := range asm.Disassemble(prog.Image) {
+			fmt.Println(line)
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, prog.Image, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// invoke runs the assembler CLI with fresh flag state.
+func invoke(t *testing.T, args ...string) error {
+	t.Helper()
+	oldArgs := os.Args
+	oldCmd := flag.CommandLine
+	defer func() {
+		os.Args = oldArgs
+		flag.CommandLine = oldCmd
+	}()
+	flag.CommandLine = flag.NewFlagSet("goofi-asm", flag.ContinueOnError)
+	os.Args = append([]string{"goofi-asm"}, args...)
+	return run()
+}
+
+func writeSource(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.s")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAssembleToFile(t *testing.T) {
+	src := writeSource(t, "ldi r1, 5\nhalt\n")
+	out := filepath.Join(t.TempDir(), "prog.bin")
+	if err := invoke(t, "-o", out, src); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 8 {
+		t.Errorf("image size = %d, want 8", len(img))
+	}
+}
+
+func TestSymbolsAndListing(t *testing.T) {
+	src := writeSource(t, "start:\nldi r1, 5\nhalt\ndata:\n.word 7\n")
+	if err := invoke(t, "-symbols", "-listing", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	src := writeSource(t, "ldi r1, 5\nhalt\n")
+	out := filepath.Join(t.TempDir(), "prog.bin")
+	if err := invoke(t, "-o", out, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := invoke(t, "-d", out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuiltinWorkload(t *testing.T) {
+	if err := invoke(t, "-builtin", "sort16"); err != nil {
+		t.Fatal(err)
+	}
+	if err := invoke(t, "-builtin", "nope"); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	if err := invoke(t); err == nil {
+		t.Error("no input file accepted")
+	}
+	if err := invoke(t, "/nonexistent/file.s"); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeSource(t, "frobnicate r1\n")
+	if err := invoke(t, bad); err == nil {
+		t.Error("bad source accepted")
+	}
+}

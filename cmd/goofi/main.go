@@ -1,0 +1,513 @@
+// Command goofi is the GOOFI fault injection tool's command-line surface,
+// replacing the paper's Java/Swing GUI. The four phases of §3 map to
+// subcommands:
+//
+//	goofi configure  — configuration phase (Fig 5): store a target
+//	                   system's scan-chain maps
+//	goofi setup      — set-up phase (Fig 6): define or merge campaigns
+//	goofi run        — fault injection phase (Fig 7): execute a campaign
+//	                   with live progress
+//	goofi analyze    — analysis phase (§3.4): classify outcomes and run
+//	                   the generated SQL analysis
+//	goofi list       — show stored targets and campaigns
+//	goofi schema     — print the database schema (Fig 4)
+//
+// All state lives in a GOOFI database file (-db).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"goofi/internal/analysis"
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/faultmodel"
+	"goofi/internal/pinlevel"
+	"goofi/internal/preinject"
+	"goofi/internal/scifi"
+	"goofi/internal/sqldb"
+	"goofi/internal/swifi"
+	"goofi/internal/thor"
+	"goofi/internal/trigger"
+	"goofi/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "goofi:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() string {
+	return `usage: goofi <command> [flags]
+
+commands:
+  configure  store a target system configuration (Fig 5)
+  setup      define a fault injection campaign (Fig 6)
+  merge      merge campaigns into a new one
+  run        execute a campaign (Fig 7)
+  analyze    classify campaign results (paper §3.4)
+  list       list stored targets and campaigns
+  schema     print the GOOFI database schema (Fig 4)
+  workloads  list built-in workloads
+`
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		fmt.Print(usage())
+		return fmt.Errorf("no command given")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "configure":
+		return cmdConfigure(rest)
+	case "setup":
+		return cmdSetup(rest)
+	case "merge":
+		return cmdMerge(rest)
+	case "run":
+		return cmdRun(rest)
+	case "analyze":
+		return cmdAnalyze(rest)
+	case "list":
+		return cmdList(rest)
+	case "schema":
+		return cmdSchema(rest)
+	case "workloads":
+		return cmdWorkloads(rest)
+	case "help", "-h", "--help":
+		fmt.Print(usage())
+		return nil
+	default:
+		fmt.Print(usage())
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// openStore loads (or creates) the GOOFI database at path.
+func openStore(path string) (*campaign.Store, *sqldb.DB, error) {
+	db := sqldb.Open()
+	if _, err := os.Stat(path); err == nil {
+		if err := db.LoadFile(path); err != nil {
+			return nil, nil, err
+		}
+	}
+	st, err := campaign.NewStore(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, db, nil
+}
+
+func cmdConfigure(args []string) error {
+	fs := flag.NewFlagSet("configure", flag.ContinueOnError)
+	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
+	target := fs.String("target", "thor-board", "target system name")
+	kind := fs.String("kind", "scifi", "target kind: scifi, swifi, pinlevel")
+	imageBytes := fs.Int("image-bytes", 4096, "workload image size (swifi targets)")
+	tree := fs.Bool("tree", false, "print the hierarchical location list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, db, err := openStore(*dbPath)
+	if err != nil {
+		return err
+	}
+	var tsd *campaign.TargetSystemData
+	switch *kind {
+	case "scifi":
+		tsd = scifi.TargetSystemData(*target)
+	case "swifi":
+		tsd = swifi.TargetSystemData(*target, *imageBytes)
+	case "pinlevel":
+		tsd = pinlevel.TargetSystemData(*target)
+	default:
+		return fmt.Errorf("unknown target kind %q", *kind)
+	}
+	if err := st.PutTargetSystem(tsd); err != nil {
+		return err
+	}
+	if err := db.SaveFile(*dbPath); err != nil {
+		return err
+	}
+	fmt.Printf("configured target %q (%s) with %d chain(s)\n", *target, *kind, len(tsd.Chains))
+	if *tree {
+		for i := range tsd.Chains {
+			fmt.Print(tsd.Chains[i].Tree())
+		}
+	}
+	return nil
+}
+
+func cmdSetup(args []string) error {
+	fs := flag.NewFlagSet("setup", flag.ContinueOnError)
+	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
+	name := fs.String("campaign", "", "campaign name (required)")
+	target := fs.String("target", "thor-board", "target system name")
+	chain := fs.String("chain", "internal", "scan chain to inject into")
+	locations := fs.String("locations", "cpu", "comma-separated location names/prefixes")
+	observe := fs.String("observe", "", "comma-separated observed locations (default: all writable)")
+	model := fs.String("model", "transient", "fault model: transient, stuck-at-0, stuck-at-1, intermittent")
+	mult := fs.Int("multiplicity", 1, "bits per fault")
+	activeProb := fs.Float64("active-prob", 0.5, "intermittent activation probability")
+	trigKind := fs.String("trigger", "cycle", "trigger kind: cycle, instret, breakpoint, data-access, branch, call, task-switch, rtc")
+	trigCycle := fs.Uint64("trigger-cycle", 0, "cycle for cycle triggers")
+	trigAddr := fs.Uint64("trigger-addr", 0, "address for breakpoint/data-access triggers")
+	trigOcc := fs.Int("trigger-occurrence", 1, "occurrence count")
+	window := fs.String("window", "", "random injection window lo:hi (cycles)")
+	experiments := fs.Int("experiments", 100, "number of fault injection experiments")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	timeout := fs.Uint64("timeout", 300000, "termination time-out in cycles")
+	maxIter := fs.Int("max-iterations", 0, "iteration limit for loop workloads (0 = run to HALT)")
+	wl := fs.String("workload", "sort16", "built-in workload name")
+	envName := fs.String("envsim", "", "environment simulator (empty = none)")
+	logMode := fs.String("log", "normal", "log mode: normal or detail")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("setup: -campaign is required")
+	}
+	spec, ok := workload.All()[*wl]
+	if !ok {
+		return fmt.Errorf("setup: unknown workload %q (see 'goofi workloads')", *wl)
+	}
+	camp := &campaign.Campaign{
+		Name:       *name,
+		TargetName: *target,
+		ChainName:  *chain,
+		Locations:  splitList(*locations),
+		Observe:    splitList(*observe),
+		FaultModel: faultmodel.Spec{
+			Kind:         faultmodel.Kind(*model),
+			Multiplicity: *mult,
+			ActiveProb:   *activeProb,
+		},
+		Trigger: trigger.Spec{
+			Kind:       *trigKind,
+			Cycle:      *trigCycle,
+			Addr:       uint32(*trigAddr),
+			Occurrence: *trigOcc,
+		},
+		NumExperiments: *experiments,
+		Seed:           *seed,
+		Termination: campaign.Termination{
+			TimeoutCycles: *timeout,
+			MaxIterations: *maxIter,
+		},
+		Workload: spec,
+		LogMode:  campaign.LogMode(*logMode),
+	}
+	if camp.FaultModel.Kind != faultmodel.Intermittent {
+		camp.FaultModel.ActiveProb = 0
+	}
+	if *window != "" {
+		lo, hi, err := parseWindow(*window)
+		if err != nil {
+			return err
+		}
+		camp.RandomWindow = [2]uint64{lo, hi}
+	}
+	if *envName != "" {
+		camp.EnvSim = &campaign.EnvSimSpec{Name: *envName}
+	}
+	st, db, err := openStore(*dbPath)
+	if err != nil {
+		return err
+	}
+	if err := st.PutCampaign(camp); err != nil {
+		return err
+	}
+	if err := db.SaveFile(*dbPath); err != nil {
+		return err
+	}
+	fmt.Printf("campaign %q stored: %d experiments on %s over %v\n",
+		camp.Name, camp.NumExperiments, camp.Workload.Name, camp.Locations)
+	return nil
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
+	name := fs.String("into", "", "name of the merged campaign (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || fs.NArg() < 2 {
+		return fmt.Errorf("merge: need -into and at least two source campaigns")
+	}
+	st, db, err := openStore(*dbPath)
+	if err != nil {
+		return err
+	}
+	merged, err := st.MergeCampaigns(*name, fs.Args()...)
+	if err != nil {
+		return err
+	}
+	if err := db.SaveFile(*dbPath); err != nil {
+		return err
+	}
+	fmt.Printf("merged %v into %q: %d experiments over %d locations\n",
+		fs.Args(), merged.Name, merged.NumExperiments, len(merged.Locations))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
+	name := fs.String("campaign", "", "campaign to run (required)")
+	technique := fs.String("technique", "scifi", "fault injection technique: scifi, swifi-preruntime, swifi-runtime, pin-level")
+	rerun := fs.String("rerun", "", "re-run one experiment by name (detail mode), recording parentExperiment")
+	preFilter := fs.Bool("pre-injection", false, "enable pre-injection liveness filtering")
+	boards := fs.Int("boards", 1, "number of simulated boards to run in parallel")
+	quiet := fs.Bool("quiet", false, "suppress the progress line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("run: -campaign is required")
+	}
+	st, db, err := openStore(*dbPath)
+	if err != nil {
+		return err
+	}
+	camp, err := st.GetCampaign(*name)
+	if err != nil {
+		return err
+	}
+	tsd, err := st.GetTargetSystem(camp.TargetName)
+	if err != nil {
+		return err
+	}
+	alg, ok := core.Algorithms()[*technique]
+	if !ok {
+		return fmt.Errorf("run: unknown technique %q", *technique)
+	}
+	factory := func() core.TargetSystem {
+		switch *technique {
+		case "swifi-preruntime":
+			return swifi.New(thor.DefaultConfig(), swifi.PreRuntime)
+		case "swifi-runtime":
+			return swifi.New(thor.DefaultConfig(), swifi.Runtime)
+		case "pin-level":
+			return pinlevel.New(thor.DefaultConfig())
+		default:
+			return scifi.New(thor.DefaultConfig())
+		}
+	}
+	target := factory()
+	opts := []core.RunnerOption{core.WithStore(st)}
+	if !*quiet {
+		opts = append(opts, core.WithProgress(progressLine))
+	}
+	if *preFilter {
+		a, err := preinject.AnalyzeWorkload(thor.DefaultConfig(), camp)
+		if err != nil {
+			return fmt.Errorf("run: pre-injection analysis: %w", err)
+		}
+		opts = append(opts, core.WithInjectionFilter(a.Filter()))
+	}
+	r, err := core.NewRunner(target, alg, camp, tsd, opts...)
+	if err != nil {
+		return err
+	}
+	if *rerun != "" {
+		ex, err := r.Rerun(*rerun, true)
+		if err != nil {
+			return err
+		}
+		if err := db.SaveFile(*dbPath); err != nil {
+			return err
+		}
+		fmt.Printf("\nre-ran %s as %s (outcome: %s)\n", *rerun, ex.Name, ex.Result.Outcome.Status)
+		return nil
+	}
+	if err := st.DeleteExperiments(camp.Name); err != nil {
+		return err
+	}
+	var sum *core.Summary
+	if *boards > 1 {
+		sum, err = r.RunParallel(context.Background(), *boards, factory)
+	} else {
+		sum, err = r.Run(context.Background())
+	}
+	if err != nil {
+		return err
+	}
+	if err := db.SaveFile(*dbPath); err != nil {
+		return err
+	}
+	fmt.Printf("\ncampaign %s finished: %d experiments, %d injected, %d skipped by pre-injection filter\n",
+		sum.Campaign, sum.Experiments, sum.Injected, sum.Skipped)
+	for status, n := range sum.ByStatus {
+		fmt.Printf("  %-12s %d\n", status, n)
+	}
+	return nil
+}
+
+// progressLine renders the Fig 7 progress window on one terminal line.
+func progressLine(ev core.ProgressEvent) {
+	switch ev.Phase {
+	case "reference":
+		fmt.Printf("\r[%s] reference run...                    ", ev.Campaign)
+	case "experiment":
+		fmt.Printf("\r[%s] experiment %d/%d (%s: %s)      ",
+			ev.Campaign, ev.Done, ev.Total, ev.Experiment, ev.Outcome)
+	case "paused":
+		fmt.Printf("\r[%s] paused                              ", ev.Campaign)
+	case "done", "stopped":
+		fmt.Printf("\r[%s] %s: %d/%d experiments            ",
+			ev.Campaign, ev.Phase, ev.Done, ev.Total)
+	}
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
+	name := fs.String("campaign", "", "campaign to analyze (required)")
+	sql := fs.Bool("sql", false, "also run the generated SQL analysis queries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("analyze: -campaign is required")
+	}
+	st, db, err := openStore(*dbPath)
+	if err != nil {
+		return err
+	}
+	rep, err := analysis.AnalyzeAndStore(st, *name)
+	if err != nil {
+		return err
+	}
+	if err := db.SaveFile(*dbPath); err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if *sql {
+		results, err := analysis.RunGenerated(st, *name)
+		if err != nil {
+			return err
+		}
+		for _, q := range analysis.GeneratedQueries() {
+			r := results[q.Name]
+			fmt.Printf("\n-- %s\n", q.Name)
+			fmt.Println(strings.Join(r.Cols, "\t"))
+			for _, row := range r.Rows {
+				cells := make([]string, len(row))
+				for i, v := range row {
+					cells[i] = v.String()
+				}
+				fmt.Println(strings.Join(cells, "\t"))
+			}
+		}
+	}
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, _, err := openStore(*dbPath)
+	if err != nil {
+		return err
+	}
+	targets, err := st.ListTargetSystems()
+	if err != nil {
+		return err
+	}
+	fmt.Println("target systems:")
+	for _, t := range targets {
+		fmt.Printf("  %s\n", t)
+	}
+	camps, err := st.ListCampaigns()
+	if err != nil {
+		return err
+	}
+	fmt.Println("campaigns:")
+	for _, c := range camps {
+		camp, err := st.GetCampaign(c)
+		if err != nil {
+			return err
+		}
+		recs, err := st.Experiments(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-20s %4d experiments planned, %4d logged, workload %s\n",
+			c, camp.NumExperiments, len(recs), camp.Workload.Name)
+	}
+	return nil
+}
+
+func cmdSchema(args []string) error {
+	fs := flag.NewFlagSet("schema", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, ddl := range campaign.Schema {
+		fmt.Println(ddl + ";")
+	}
+	fmt.Println(analysis.ResultsDDL + ";")
+	return nil
+}
+
+func cmdWorkloads(args []string) error {
+	fs := flag.NewFlagSet("workloads", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	all := workload.All()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		spec := all[n]
+		fmt.Printf("  %-20s in=%d out=%d results=%v\n",
+			n, spec.InputPort, spec.OutputPort, spec.ResultSymbols)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseWindow(s string) (lo, hi uint64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("window must be lo:hi, got %q", s)
+	}
+	lo, err = strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad window low bound: %w", err)
+	}
+	hi, err = strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad window high bound: %w", err)
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd invokes the CLI entry point with a temp-dir database.
+func runCmd(t *testing.T, args ...string) error {
+	t.Helper()
+	return run(args)
+}
+
+func dbPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.db")
+}
+
+func TestFullPhaseWorkflow(t *testing.T) {
+	db := dbPath(t)
+	steps := [][]string{
+		{"configure", "-db", db, "-target", "thor-board"},
+		{"setup", "-db", db, "-campaign", "cli-test", "-workload", "sort16",
+			"-window", "10:1600", "-experiments", "8", "-timeout", "100000"},
+		{"run", "-db", db, "-campaign", "cli-test", "-quiet"},
+		{"analyze", "-db", db, "-campaign", "cli-test", "-sql"},
+		{"list", "-db", db},
+	}
+	for _, step := range steps {
+		if err := runCmd(t, step...); err != nil {
+			t.Fatalf("goofi %s: %v", strings.Join(step, " "), err)
+		}
+	}
+	if _, err := os.Stat(db); err != nil {
+		t.Fatalf("database file not written: %v", err)
+	}
+}
+
+func TestRunParallelBoards(t *testing.T) {
+	db := dbPath(t)
+	steps := [][]string{
+		{"configure", "-db", db},
+		{"setup", "-db", db, "-campaign", "par", "-workload", "sort16",
+			"-window", "10:1600", "-experiments", "8", "-timeout", "100000"},
+		{"run", "-db", db, "-campaign", "par", "-boards", "4", "-quiet"},
+		{"analyze", "-db", db, "-campaign", "par"},
+	}
+	for _, step := range steps {
+		if err := runCmd(t, step...); err != nil {
+			t.Fatalf("goofi %s: %v", strings.Join(step, " "), err)
+		}
+	}
+}
+
+func TestRunWithPreInjection(t *testing.T) {
+	db := dbPath(t)
+	steps := [][]string{
+		{"configure", "-db", db},
+		{"setup", "-db", db, "-campaign", "pi", "-workload", "sort16",
+			"-locations", "cpu.r1,cpu.r2,cpu.r8", "-window", "10:1600",
+			"-experiments", "5", "-timeout", "100000"},
+		{"run", "-db", db, "-campaign", "pi", "-pre-injection", "-quiet"},
+	}
+	for _, step := range steps {
+		if err := runCmd(t, step...); err != nil {
+			t.Fatalf("goofi %s: %v", strings.Join(step, " "), err)
+		}
+	}
+}
+
+func TestMergeCommand(t *testing.T) {
+	db := dbPath(t)
+	base := [][]string{
+		{"configure", "-db", db},
+		{"setup", "-db", db, "-campaign", "a", "-workload", "sort16",
+			"-locations", "cpu.r1", "-window", "10:1600", "-experiments", "3", "-timeout", "100000"},
+		{"setup", "-db", db, "-campaign", "b", "-workload", "sort16",
+			"-locations", "cpu.r2", "-window", "10:1600", "-experiments", "4", "-timeout", "100000"},
+	}
+	for _, step := range base {
+		if err := runCmd(t, step...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runCmd(t, "merge", "-db", db, "-into", "ab", "a", "b"); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := runCmd(t, "run", "-db", db, "-campaign", "ab", "-quiet"); err != nil {
+		t.Fatalf("run merged: %v", err)
+	}
+}
+
+func TestRerunCommand(t *testing.T) {
+	db := dbPath(t)
+	steps := [][]string{
+		{"configure", "-db", db},
+		{"setup", "-db", db, "-campaign", "rr", "-workload", "sort16",
+			"-window", "10:1600", "-experiments", "3", "-timeout", "100000"},
+		{"run", "-db", db, "-campaign", "rr", "-quiet"},
+		{"run", "-db", db, "-campaign", "rr", "-rerun", "rr/exp00001", "-quiet"},
+	}
+	for _, step := range steps {
+		if err := runCmd(t, step...); err != nil {
+			t.Fatalf("goofi %s: %v", strings.Join(step, " "), err)
+		}
+	}
+}
+
+func TestSWIFITechniques(t *testing.T) {
+	db := dbPath(t)
+	steps := [][]string{
+		{"configure", "-db", db, "-target", "thor-swifi", "-kind", "swifi", "-image-bytes", "512"},
+		{"setup", "-db", db, "-campaign", "sw", "-target", "thor-swifi",
+			"-chain", "memory", "-locations", "mem", "-workload", "sort16",
+			"-trigger", "cycle", "-trigger-cycle", "0",
+			"-experiments", "5", "-timeout", "100000"},
+		{"run", "-db", db, "-campaign", "sw", "-technique", "swifi-preruntime", "-quiet"},
+		{"analyze", "-db", db, "-campaign", "sw"},
+	}
+	for _, step := range steps {
+		if err := runCmd(t, step...); err != nil {
+			t.Fatalf("goofi %s: %v", strings.Join(step, " "), err)
+		}
+	}
+}
+
+func TestSchemaAndWorkloads(t *testing.T) {
+	if err := runCmd(t, "schema"); err != nil {
+		t.Error(err)
+	}
+	if err := runCmd(t, "workloads"); err != nil {
+		t.Error(err)
+	}
+	if err := runCmd(t, "help"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	db := dbPath(t)
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"setup", "-db", db}, // missing -campaign
+		{"setup", "-db", db, "-campaign", "x", "-workload", "nope"},
+		{"run", "-db", db},                      // missing -campaign
+		{"run", "-db", db, "-campaign", "none"}, // unknown campaign
+		{"analyze", "-db", db},
+		{"merge", "-db", db, "-into", "x"}, // too few sources
+		{"configure", "-db", db, "-kind", "alien"},
+		{"setup", "-db", db, "-campaign", "x", "-window", "nonsense"},
+	}
+	for _, args := range cases {
+		if err := runCmd(t, args...); err == nil {
+			t.Errorf("goofi %v succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunUnknownTechnique(t *testing.T) {
+	db := dbPath(t)
+	if err := runCmd(t, "configure", "-db", db); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCmd(t, "setup", "-db", db, "-campaign", "t", "-workload", "sort16",
+		"-window", "10:1600", "-experiments", "1", "-timeout", "100000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCmd(t, "run", "-db", db, "-campaign", "t", "-technique", "telepathy"); err == nil {
+		t.Error("unknown technique accepted")
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	lo, hi, err := parseWindow("10:200")
+	if err != nil || lo != 10 || hi != 200 {
+		t.Errorf("parseWindow = %d %d %v", lo, hi, err)
+	}
+	for _, bad := range []string{"", "5", "a:b", "1:b", "a:2"} {
+		if _, _, err := parseWindow(bad); err == nil {
+			t.Errorf("parseWindow(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("splitList = %v", got)
+	}
+	if splitList("") != nil {
+		t.Error("splitList(\"\") != nil")
+	}
+}

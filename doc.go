@@ -1,0 +1,33 @@
+// Package goofi is a Go reproduction of GOOFI, the Generic Object-Oriented
+// Fault Injection tool (Aidemark, Vinter, Folkesson, Karlsson — DSN 2003).
+//
+// GOOFI runs fault injection campaigns against target systems through two
+// pluggable abstractions: fault injection algorithms (technique-level step
+// sequences such as SCIFI and pre-runtime SWIFI) and target system
+// interfaces (per-target implementations of the algorithms' abstract
+// building blocks). All configuration and results live in a SQL database
+// with the three-table schema of the paper's Fig 4.
+//
+// The packages under internal/ form the complete system:
+//
+//	core       — fault injection algorithms, Framework template, runner
+//	campaign   — TargetSystemData / CampaignData / LoggedSystemState model
+//	sqldb      — embedded SQL database engine (the storage substrate)
+//	thor       — THOR-S microprocessor simulator (the target substrate)
+//	scanchain  — IEEE 1149.1 TAP controller and scan chains
+//	scifi      — scan-chain implemented fault injection target
+//	swifi      — pre-runtime and runtime SWIFI targets
+//	pinlevel   — pin-level injection through boundary-scan EXTEST
+//	faultmodel — transient / stuck-at / intermittent fault models
+//	trigger    — breakpoint, cycle, data-access, branch, call, rtc triggers
+//	preinject  — pre-injection liveness analysis
+//	envsim     — environment simulators closing the control loop
+//	workload   — built-in THOR-S assembly workloads
+//	analysis   — §3.4 outcome classification and generated SQL analysis
+//	asm        — THOR-S assembler
+//	bitvec     — bit vectors underlying scan chains and fault masks
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced experiments. bench_test.go in this
+// directory regenerates every experiment's measurements.
+package goofi

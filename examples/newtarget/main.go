@@ -1,0 +1,214 @@
+// Newtarget walks through porting GOOFI to a new target system, the
+// paper's Fig 3 workflow: embed the Framework template, run the chosen
+// algorithm to see exactly which abstract methods it still needs, and
+// implement only those.
+//
+// The target here is deliberately tiny: a "pulse counter" peripheral with
+// a 16-bit counter and an 8-bit threshold register, reachable through a
+// 24-bit scan chain. Its only error detection mechanism is a range check
+// (counter must not exceed the threshold * 256).
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"goofi/internal/analysis"
+	"goofi/internal/bitvec"
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/faultmodel"
+	"goofi/internal/scanchain"
+	"goofi/internal/sqldb"
+	"goofi/internal/trigger"
+)
+
+// pulseCounter is the simulated device: it counts pulses each "run" and
+// detects counter overflow beyond its configured threshold.
+type pulseCounter struct {
+	counter   uint16
+	threshold uint8
+}
+
+func (d *pulseCounter) scanRead() *bitvec.Vector {
+	v := bitvec.New(24)
+	v.SetUint64(0, 16, uint64(d.counter))
+	v.SetUint64(16, 8, uint64(d.threshold))
+	return v
+}
+
+func (d *pulseCounter) scanWrite(v *bitvec.Vector) {
+	d.counter = uint16(v.Uint64(0, 16))
+	d.threshold = uint8(v.Uint64(16, 8))
+}
+
+// step advances the device by one pulse; ok=false is the range-check EDM.
+func (d *pulseCounter) step() (ok bool) {
+	d.counter++
+	return uint32(d.counter) <= uint32(d.threshold)*256
+}
+
+// --- The port: start from the Framework template (paper Fig 3) ---------
+
+// counterTarget is the TargetSystemInterface for the pulse counter.
+// Embedding core.Framework supplies "not implemented" stubs for every
+// abstract method; the port below fills in the seven the SCIFI algorithm
+// uses.
+type counterTarget struct {
+	core.Framework
+	dev    *pulseCounter
+	pulses int
+}
+
+func newCounterTarget() *counterTarget {
+	return &counterTarget{
+		Framework: core.Framework{TargetName: "pulse-counter"},
+		dev:       &pulseCounter{},
+	}
+}
+
+func (t *counterTarget) InitTestCard(ex *core.Experiment) error {
+	t.dev = &pulseCounter{threshold: 16} // allows 4096 pulses
+	t.pulses = 0
+	return nil
+}
+
+func (t *counterTarget) LoadWorkload(ex *core.Experiment) error { return nil } // nothing to assemble
+
+func (t *counterTarget) WriteMemory(ex *core.Experiment) error { return nil } // no memory
+
+func (t *counterTarget) RunWorkload(ex *core.Experiment) error { return nil } // demand-driven
+
+// WaitForBreakpoint advances until the campaign's cycle trigger.
+func (t *counterTarget) WaitForBreakpoint(ex *core.Experiment) error {
+	for uint64(t.pulses) < ex.Trigger.Cycle {
+		if ok := t.dev.step(); !ok {
+			return nil // detected before injection point
+		}
+		t.pulses++
+	}
+	ex.InjectionCycle = uint64(t.pulses)
+	return nil
+}
+
+func (t *counterTarget) ReadScanChain(ex *core.Experiment) error {
+	ex.ScanVector = t.dev.scanRead()
+	return nil
+}
+
+// InjectFault is inherited from Framework: it flips ex.Fault's bits in
+// ex.ScanVector. Nothing to write here — that is the point of the
+// template.
+
+func (t *counterTarget) WriteScanChain(ex *core.Experiment) error {
+	t.dev.scanWrite(ex.ScanVector)
+	return nil
+}
+
+func (t *counterTarget) WaitForTermination(ex *core.Experiment) error {
+	const workloadPulses = 2048
+	for t.pulses < workloadPulses {
+		if ok := t.dev.step(); !ok {
+			ex.Result.Outcome = campaign.Outcome{
+				Status:    campaign.OutcomeDetected,
+				Mechanism: "range-check",
+				Cycles:    uint64(t.pulses),
+			}
+			return nil
+		}
+		t.pulses++
+	}
+	ex.Result.Outcome = campaign.Outcome{
+		Status: campaign.OutcomeCompleted,
+		Cycles: uint64(t.pulses),
+	}
+	return nil
+}
+
+func (t *counterTarget) ReadMemory(ex *core.Experiment) error {
+	// Expose the final counter value as the observable result.
+	c := t.dev.counter
+	ex.Result.Memory = map[string][]byte{"counter": {byte(c >> 8), byte(c)}}
+	ex.Result.FinalScan = t.dev.scanRead()
+	return nil
+}
+
+// ------------------------------------------------------------------------
+
+func targetData() *campaign.TargetSystemData {
+	return &campaign.TargetSystemData{
+		Name:         "pulse-counter",
+		TestCardName: "sim",
+		Chains: []scanchain.Map{{
+			Chain:  "internal",
+			Length: 24,
+			Locations: []scanchain.Location{
+				{Name: "dev.counter", Offset: 0, Width: 16},
+				{Name: "dev.threshold", Offset: 16, Width: 8},
+			},
+		}},
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "newtarget:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Step 1 of a port: run the algorithm against the bare template and
+	// let it tell you what to implement.
+	bare := &core.Framework{TargetName: "pulse-counter"}
+	ex := &core.Experiment{Campaign: &campaign.Campaign{Name: "probe"}, Seq: -1, Name: "probe"}
+	err := core.SCIFI.Run(bare, ex)
+	var nie *core.NotImplementedError
+	if errors.As(err, &nie) {
+		fmt.Printf("template says: implement %s first\n", nie.Method)
+	}
+
+	// Step 2: the finished port runs a real campaign.
+	store, err := campaign.NewStore(sqldb.Open())
+	if err != nil {
+		return err
+	}
+	tsd := targetData()
+	if err := store.PutTargetSystem(tsd); err != nil {
+		return err
+	}
+	camp := &campaign.Campaign{
+		Name:           "counter-flips",
+		TargetName:     "pulse-counter",
+		ChainName:      "internal",
+		Locations:      []string{"dev"},
+		FaultModel:     faultmodel.Spec{Kind: faultmodel.Transient},
+		Trigger:        trigger.Spec{Kind: "cycle"},
+		RandomWindow:   [2]uint64{1, 2000},
+		NumExperiments: 200,
+		Seed:           5,
+		Termination:    campaign.Termination{TimeoutCycles: 10_000},
+		Workload:       campaign.WorkloadSpec{Name: "pulses", Source: "; device has no program"},
+		LogMode:        campaign.LogNormal,
+	}
+	if err := store.PutCampaign(camp); err != nil {
+		return err
+	}
+	runner, err := core.NewRunner(newCounterTarget(), core.SCIFI, camp, tsd, core.WithStore(store))
+	if err != nil {
+		return err
+	}
+	if _, err := runner.Run(context.Background()); err != nil {
+		return err
+	}
+	rep, err := analysis.AnalyzeAndStore(store, camp.Name)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(rep.Render())
+	fmt.Println("\n=> a complete port: seven small methods on top of the Framework template.")
+	return nil
+}

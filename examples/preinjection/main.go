@@ -1,0 +1,124 @@
+// Preinjection demonstrates the paper's §4 efficiency extension:
+// pre-injection analysis determines when registers hold live data, so
+// injections guaranteed to be overwritten are skipped before any target
+// time is spent on them.
+//
+// Two identical register-targeted campaigns run against the sort workload;
+// the second uses the liveness filter. The filtered campaign skips dead
+// draws for free and spends every experiment on live state, raising the
+// effective-error yield per experiment.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"goofi/internal/analysis"
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/faultmodel"
+	"goofi/internal/preinject"
+	"goofi/internal/scifi"
+	"goofi/internal/sqldb"
+	"goofi/internal/thor"
+	"goofi/internal/trigger"
+	"goofi/internal/workload"
+)
+
+const experiments = 120
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "preinjection:", err)
+		os.Exit(1)
+	}
+}
+
+func registerLocations() []string {
+	locs := make([]string, 0, thor.NumRegs)
+	for i := 0; i < thor.NumRegs; i++ {
+		locs = append(locs, fmt.Sprintf("cpu.r%d", i))
+	}
+	return locs
+}
+
+func buildCampaign(name string) *campaign.Campaign {
+	return &campaign.Campaign{
+		Name:           name,
+		TargetName:     "thor-board",
+		ChainName:      "internal",
+		Locations:      registerLocations(),
+		FaultModel:     faultmodel.Spec{Kind: faultmodel.Transient},
+		Trigger:        trigger.Spec{Kind: "cycle"},
+		RandomWindow:   [2]uint64{10, 1600},
+		NumExperiments: experiments,
+		Seed:           7,
+		Termination:    campaign.Termination{TimeoutCycles: 100_000},
+		Workload:       workload.Sort(),
+		LogMode:        campaign.LogNormal,
+	}
+}
+
+func run() error {
+	store, err := campaign.NewStore(sqldb.Open())
+	if err != nil {
+		return err
+	}
+	tsd := scifi.TargetSystemData("thor-board")
+	if err := store.PutTargetSystem(tsd); err != nil {
+		return err
+	}
+
+	// The analysis itself: one traced reference execution.
+	liveness, err := preinject.AnalyzeWorkload(thor.DefaultConfig(), buildCampaign("probe"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pre-injection analysis: %d instructions traced, %.0f%% of (register, time) pairs live\n\n",
+		liveness.Instrs, 100*liveness.LiveFraction(50))
+
+	runOne := func(name string, filtered bool) (*core.Summary, *analysis.Report, error) {
+		camp := buildCampaign(name)
+		if err := store.PutCampaign(camp); err != nil {
+			return nil, nil, err
+		}
+		opts := []core.RunnerOption{core.WithStore(store)}
+		if filtered {
+			opts = append(opts, core.WithInjectionFilter(liveness.Filter()))
+		}
+		runner, err := core.NewRunner(scifi.New(thor.DefaultConfig()), core.SCIFI, camp, tsd, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		sum, err := runner.Run(context.Background())
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := analysis.AnalyzeAndStore(store, name)
+		return sum, rep, err
+	}
+
+	plainSum, plain, err := runOne("plain", false)
+	if err != nil {
+		return err
+	}
+	filtSum, filt, err := runOne("filtered", true)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("                          plain   pre-injection")
+	row := func(label string, a, b int) { fmt.Printf("  %-22s %5d %10d\n", label, a, b) }
+	row("experiments", plainSum.Experiments, filtSum.Experiments)
+	row("skipped draws", plainSum.Skipped, filtSum.Skipped)
+	row("detected", plain.Counts[analysis.ClassDetected], filt.Counts[analysis.ClassDetected])
+	row("escaped", plain.Counts[analysis.ClassEscaped], filt.Counts[analysis.ClassEscaped])
+	row("latent", plain.Counts[analysis.ClassLatent], filt.Counts[analysis.ClassLatent])
+	row("overwritten", plain.Counts[analysis.ClassOverwritten], filt.Counts[analysis.ClassOverwritten])
+	fmt.Printf("\n  effective rate:  plain    %s\n", plain.EffectiveRate)
+	fmt.Printf("                   filtered %s\n", filt.EffectiveRate)
+	fmt.Printf("\n=> the filter rejected %d dead draws at zero target cost; every remaining\n", filtSum.Skipped)
+	fmt.Println("   experiment hits live state, so fewer injections are wasted as overwritten.")
+	return nil
+}

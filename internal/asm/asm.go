@@ -1,0 +1,738 @@
+// Package asm implements a two-pass assembler for the THOR-S instruction
+// set. Workloads are written in this assembly, assembled on the host, and
+// downloaded to the target by the fault injection algorithms.
+//
+// Syntax overview:
+//
+//	; comment (also // and #)
+//	label:              ; defines a symbol at the current address
+//	.org 0x100          ; set the location counter
+//	.word 1, 2, sym     ; emit 32-bit words
+//	.space 16           ; reserve (zeroed) bytes
+//	.equ NAME, 42       ; define a constant
+//	ldi r1, 42          ; instructions, one per line
+//	la  r2, buffer      ; pseudo: load 32-bit address (LUI+ORI)
+//	ret                 ; pseudo: JR lr
+//	ld r3, [r2+4]       ; memory operand form
+//	st [r2+0], r3
+//	beq done            ; branch targets are labels or numbers
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"goofi/internal/thor"
+)
+
+// Program is the output of the assembler.
+type Program struct {
+	// Image is the memory image starting at address 0.
+	Image []byte
+	// Symbols maps labels and .equ names to their values.
+	Symbols map[string]uint32
+	// Listing maps each instruction address to its source line number.
+	Listing map[uint32]int
+}
+
+// Symbol returns the value of a symbol.
+func (p *Program) Symbol(name string) (uint32, error) {
+	v, ok := p.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined symbol %q", name)
+	}
+	return v, nil
+}
+
+// MustSymbol returns the value of a symbol, panicking if undefined. Intended
+// for built-in workloads whose symbols are covered by tests.
+func (p *Program) MustSymbol(name string) uint32 {
+	v, err := p.Symbol(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Error is an assembly error with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type item struct {
+	line  int
+	addr  uint32
+	mnem  string
+	args  []string
+	isDir bool
+}
+
+// Assemble translates source into a Program.
+func Assemble(source string) (*Program, error) {
+	a := &assembler{
+		symbols: make(map[string]uint32),
+		listing: make(map[uint32]int),
+		words:   make(map[uint32]uint32),
+	}
+	if err := a.pass1(source); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	return a.finish(), nil
+}
+
+type assembler struct {
+	symbols map[string]uint32
+	items   []item
+	words   map[uint32]uint32
+	listing map[uint32]int
+	maxAddr uint32
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "//", "#"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+// splitArgs splits an operand list on commas that are outside brackets.
+func splitArgs(s string) []string {
+	var args []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				args = append(args, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if rest := strings.TrimSpace(s[start:]); rest != "" {
+		args = append(args, rest)
+	}
+	return args
+}
+
+func (a *assembler) pass1(source string) error {
+	addr := uint32(0)
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) at line start.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,[") {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !validIdent(name) {
+				return &Error{lineNo + 1, fmt.Sprintf("invalid label %q", name)}
+			}
+			if _, dup := a.symbols[name]; dup {
+				return &Error{lineNo + 1, fmt.Sprintf("duplicate symbol %q", name)}
+			}
+			a.symbols[name] = addr
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnem := strings.ToLower(fields[0])
+		var args []string
+		if len(fields) > 1 {
+			args = splitArgs(strings.TrimSpace(fields[1]))
+		}
+		it := item{line: lineNo + 1, addr: addr, mnem: mnem, args: args, isDir: strings.HasPrefix(mnem, ".")}
+		switch mnem {
+		case ".org":
+			if len(args) != 1 {
+				return &Error{it.line, ".org takes one argument"}
+			}
+			v, err := a.evalConst(args[0], it.line)
+			if err != nil {
+				return err
+			}
+			addr = v
+			continue
+		case ".equ":
+			if len(args) != 2 {
+				return &Error{it.line, ".equ takes name, value"}
+			}
+			if !validIdent(args[0]) {
+				return &Error{it.line, fmt.Sprintf("invalid name %q", args[0])}
+			}
+			v, err := a.evalConst(args[1], it.line)
+			if err != nil {
+				return err
+			}
+			if _, dup := a.symbols[args[0]]; dup {
+				return &Error{it.line, fmt.Sprintf("duplicate symbol %q", args[0])}
+			}
+			a.symbols[args[0]] = v
+			continue
+		case ".word":
+			if len(args) == 0 {
+				return &Error{it.line, ".word needs at least one value"}
+			}
+			it.addr = addr
+			a.items = append(a.items, it)
+			addr += uint32(4 * len(args))
+			continue
+		case ".space":
+			if len(args) != 1 {
+				return &Error{it.line, ".space takes one argument"}
+			}
+			v, err := a.evalConst(args[0], it.line)
+			if err != nil {
+				return err
+			}
+			if v%4 != 0 {
+				return &Error{it.line, ".space size must be word aligned"}
+			}
+			addr += v
+			if addr > a.maxAddr {
+				a.maxAddr = addr
+			}
+			continue
+		}
+		if it.isDir {
+			return &Error{it.line, fmt.Sprintf("unknown directive %s", mnem)}
+		}
+		a.items = append(a.items, it)
+		addr += instrSize(mnem)
+	}
+	return nil
+}
+
+// instrSize returns the encoded size of a mnemonic (pseudos may expand).
+func instrSize(mnem string) uint32 {
+	if mnem == "la" {
+		return 8 // LUI + ORI
+	}
+	return 4
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// evalConst evaluates a numeric literal or an already-defined symbol
+// (pass-1 contexts: .org, .equ, .space).
+func (a *assembler) evalConst(s string, line int) (uint32, error) {
+	if v, ok := a.symbols[s]; ok {
+		return v, nil
+	}
+	v, err := parseNum(s)
+	if err != nil {
+		return 0, &Error{line, fmt.Sprintf("cannot evaluate %q: %v", s, err)}
+	}
+	return uint32(v), nil
+}
+
+func parseNum(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "+"), 0, 32)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// eval resolves a symbol or numeric literal in pass 2.
+func (a *assembler) eval(s string, line int) (int64, error) {
+	if v, ok := a.symbols[s]; ok {
+		return int64(v), nil
+	}
+	v, err := parseNum(s)
+	if err != nil {
+		return 0, &Error{line, fmt.Sprintf("undefined symbol or bad number %q", s)}
+	}
+	return v, nil
+}
+
+func (a *assembler) emit(addr uint32, w uint32, line int) {
+	a.words[addr] = w
+	a.listing[addr] = line
+	if addr+4 > a.maxAddr {
+		a.maxAddr = addr + 4
+	}
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "sp":
+		return thor.RegSP, nil
+	case "lr":
+		return thor.RegLR, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= thor.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseMem parses a "[rN+off]" or "[rN-off]" or "[rN]" operand.
+func (a *assembler) parseMem(s string, line int) (base uint8, off int64, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, &Error{line, fmt.Sprintf("expected memory operand [rN+off], got %q", s)}
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		base, rerr := parseReg(inner)
+		if rerr != nil {
+			return 0, 0, &Error{line, rerr.Error()}
+		}
+		return base, 0, nil
+	}
+	base, rerr := parseReg(inner[:sep])
+	if rerr != nil {
+		return 0, 0, &Error{line, rerr.Error()}
+	}
+	off, err = a.eval(strings.TrimSpace(inner[sep+1:]), line)
+	if err != nil {
+		return 0, 0, err
+	}
+	if inner[sep] == '-' {
+		off = -off
+	}
+	return base, off, nil
+}
+
+func checkImm16s(v int64, line int) (uint16, error) {
+	if v >= -32768 && v <= 32767 {
+		return uint16(int16(v)), nil
+	}
+	// Symbols store values as uint32, so a negative .equ arrives as its
+	// two's-complement wrap; accept it when the 32-bit value sign-extends
+	// from 16 bits.
+	if v >= 0xFFFF_8000 && v <= 0xFFFF_FFFF {
+		return uint16(v), nil
+	}
+	return 0, &Error{line, fmt.Sprintf("immediate %d does not fit in signed 16 bits", v)}
+}
+
+func checkImm16u(v int64, line int) (uint16, error) {
+	if v < 0 || v > 0xFFFF {
+		return 0, &Error{line, fmt.Sprintf("immediate %d does not fit in unsigned 16 bits", v)}
+	}
+	return uint16(v), nil
+}
+
+var regRegRegOps = map[string]thor.Opcode{
+	"add": thor.OpADD, "sub": thor.OpSUB, "mul": thor.OpMUL,
+	"div": thor.OpDIV, "mod": thor.OpMOD, "and": thor.OpAND,
+	"or": thor.OpOR, "xor": thor.OpXOR, "shl": thor.OpSHL, "shr": thor.OpSHR,
+}
+
+var regRegImmOps = map[string]thor.Opcode{
+	"addi": thor.OpADDI, "subi": thor.OpSUBI,
+	"shli": thor.OpSHLI, "shri": thor.OpSHRI, "ori": thor.OpORI,
+}
+
+var branchOps = map[string]thor.Opcode{
+	"beq": thor.OpBEQ, "bne": thor.OpBNE, "blt": thor.OpBLT,
+	"bge": thor.OpBGE, "bgt": thor.OpBGT, "ble": thor.OpBLE,
+	"bra": thor.OpBRA, "call": thor.OpCALL,
+}
+
+func (a *assembler) pass2() error {
+	for _, it := range a.items {
+		if it.mnem == ".word" {
+			addr := it.addr
+			for _, arg := range it.args {
+				v, err := a.eval(arg, it.line)
+				if err != nil {
+					return err
+				}
+				a.emit(addr, uint32(v), it.line)
+				addr += 4
+			}
+			continue
+		}
+		if err := a.encodeInstr(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *assembler) encodeInstr(it item) error {
+	need := func(n int) error {
+		if len(it.args) != n {
+			return &Error{it.line, fmt.Sprintf("%s takes %d operand(s), got %d", it.mnem, n, len(it.args))}
+		}
+		return nil
+	}
+	reg := func(i int) (uint8, error) {
+		r, err := parseReg(it.args[i])
+		if err != nil {
+			return 0, &Error{it.line, err.Error()}
+		}
+		return r, nil
+	}
+
+	switch {
+	case it.mnem == "nop" || it.mnem == "halt" || it.mnem == "kick":
+		if err := need(0); err != nil {
+			return err
+		}
+		op := map[string]thor.Opcode{"nop": thor.OpNOP, "halt": thor.OpHALT, "kick": thor.OpKICK}[it.mnem]
+		a.emit(it.addr, thor.Instr{Op: op}.Encode(), it.line)
+
+	case it.mnem == "ret":
+		if err := need(0); err != nil {
+			return err
+		}
+		a.emit(it.addr, thor.Instr{Op: thor.OpJR, Rs1: thor.RegLR}.Encode(), it.line)
+
+	case it.mnem == "mov" || it.mnem == "not":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		op := thor.OpMOV
+		if it.mnem == "not" {
+			op = thor.OpNOT
+		}
+		a.emit(it.addr, thor.Instr{Op: op, Rd: rd, Rs1: rs}.Encode(), it.line)
+
+	case it.mnem == "ldi" || it.mnem == "lui":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := a.eval(it.args[1], it.line)
+		if err != nil {
+			return err
+		}
+		var imm uint16
+		if it.mnem == "ldi" {
+			imm, err = checkImm16s(v, it.line)
+		} else {
+			imm, err = checkImm16u(v, it.line)
+		}
+		if err != nil {
+			return err
+		}
+		op := thor.OpLDI
+		if it.mnem == "lui" {
+			op = thor.OpLUI
+		}
+		a.emit(it.addr, thor.Instr{Op: op, Rd: rd, Imm: imm}.Encode(), it.line)
+
+	case it.mnem == "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := a.eval(it.args[1], it.line)
+		if err != nil {
+			return err
+		}
+		u := uint32(v)
+		a.emit(it.addr, thor.Instr{Op: thor.OpLUI, Rd: rd, Imm: uint16(u >> 16)}.Encode(), it.line)
+		a.emit(it.addr+4, thor.Instr{Op: thor.OpORI, Rd: rd, Rs1: rd, Imm: uint16(u)}.Encode(), it.line)
+
+	case it.mnem == "ld":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		base, off, err := a.parseMem(it.args[1], it.line)
+		if err != nil {
+			return err
+		}
+		imm, err := checkImm16s(off, it.line)
+		if err != nil {
+			return err
+		}
+		a.emit(it.addr, thor.Instr{Op: thor.OpLD, Rd: rd, Rs1: base, Imm: imm}.Encode(), it.line)
+
+	case it.mnem == "st":
+		if err := need(2); err != nil {
+			return err
+		}
+		base, off, err := a.parseMem(it.args[0], it.line)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		imm, err := checkImm16s(off, it.line)
+		if err != nil {
+			return err
+		}
+		a.emit(it.addr, thor.Instr{Op: thor.OpST, Rd: rs, Rs1: base, Imm: imm}.Encode(), it.line)
+
+	case regRegRegOps[it.mnem] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(2)
+		if err != nil {
+			return err
+		}
+		in := thor.Instr{Op: regRegRegOps[it.mnem], Rd: rd, Rs1: rs1, Rs2: rs2}
+		a.emit(it.addr, in.Encode(), it.line)
+
+	case regRegImmOps[it.mnem] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, err := a.eval(it.args[2], it.line)
+		if err != nil {
+			return err
+		}
+		var imm uint16
+		if it.mnem == "ori" {
+			imm, err = checkImm16u(v, it.line)
+		} else {
+			imm, err = checkImm16s(v, it.line)
+		}
+		if err != nil {
+			return err
+		}
+		a.emit(it.addr, thor.Instr{Op: regRegImmOps[it.mnem], Rd: rd, Rs1: rs1, Imm: imm}.Encode(), it.line)
+
+	case it.mnem == "cmp":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(it.addr, thor.Instr{Op: thor.OpCMP, Rs1: rs1, Rs2: rs2}.Encode(), it.line)
+
+	case it.mnem == "cmpi":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := a.eval(it.args[1], it.line)
+		if err != nil {
+			return err
+		}
+		imm, err := checkImm16s(v, it.line)
+		if err != nil {
+			return err
+		}
+		a.emit(it.addr, thor.Instr{Op: thor.OpCMPI, Rs1: rs1, Imm: imm}.Encode(), it.line)
+
+	case branchOps[it.mnem] != 0:
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := a.eval(it.args[0], it.line)
+		if err != nil {
+			return err
+		}
+		// A symbol is a target address: convert to word-relative offset.
+		// A bare number is taken as the offset directly.
+		off := v
+		if _, isSym := a.symbols[it.args[0]]; isSym {
+			delta := v - int64(it.addr) - 4
+			if delta%4 != 0 {
+				return &Error{it.line, "branch target not word aligned"}
+			}
+			off = delta / 4
+		}
+		imm, err := checkImm16s(off, it.line)
+		if err != nil {
+			return err
+		}
+		a.emit(it.addr, thor.Instr{Op: branchOps[it.mnem], Imm: imm}.Encode(), it.line)
+
+	case it.mnem == "jr" || it.mnem == "push":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		op := thor.OpJR
+		if it.mnem == "push" {
+			op = thor.OpPUSH
+		}
+		a.emit(it.addr, thor.Instr{Op: op, Rs1: rs}.Encode(), it.line)
+
+	case it.mnem == "pop":
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emit(it.addr, thor.Instr{Op: thor.OpPOP, Rd: rd}.Encode(), it.line)
+
+	case it.mnem == "in":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := a.eval(it.args[1], it.line)
+		if err != nil {
+			return err
+		}
+		imm, err := checkImm16u(v, it.line)
+		if err != nil {
+			return err
+		}
+		a.emit(it.addr, thor.Instr{Op: thor.OpIN, Rd: rd, Imm: imm}.Encode(), it.line)
+
+	case it.mnem == "out":
+		if err := need(2); err != nil {
+			return err
+		}
+		v, err := a.eval(it.args[0], it.line)
+		if err != nil {
+			return err
+		}
+		imm, err := checkImm16u(v, it.line)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(it.addr, thor.Instr{Op: thor.OpOUT, Rd: rs, Imm: imm}.Encode(), it.line)
+
+	case it.mnem == "trap":
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := a.eval(it.args[0], it.line)
+		if err != nil {
+			return err
+		}
+		imm, err := checkImm16u(v, it.line)
+		if err != nil {
+			return err
+		}
+		a.emit(it.addr, thor.Instr{Op: thor.OpTRAP, Imm: imm}.Encode(), it.line)
+
+	default:
+		return &Error{it.line, fmt.Sprintf("unknown mnemonic %q", it.mnem)}
+	}
+	return nil
+}
+
+func (a *assembler) finish() *Program {
+	img := make([]byte, a.maxAddr)
+	addrs := make([]uint32, 0, len(a.words))
+	for addr := range a.words {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		w := a.words[addr]
+		img[addr] = byte(w >> 24)
+		img[addr+1] = byte(w >> 16)
+		img[addr+2] = byte(w >> 8)
+		img[addr+3] = byte(w)
+	}
+	return &Program{Image: img, Symbols: a.symbols, Listing: a.listing}
+}
+
+// Disassemble renders the instruction word at each address of the image.
+func Disassemble(image []byte) []string {
+	var out []string
+	for addr := 0; addr+4 <= len(image); addr += 4 {
+		w := uint32(image[addr])<<24 | uint32(image[addr+1])<<16 |
+			uint32(image[addr+2])<<8 | uint32(image[addr+3])
+		out = append(out, fmt.Sprintf("%08x: %08x  %s", addr, w, thor.Decode(w)))
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"goofi/internal/thor"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func word(p *Program, addr uint32) uint32 {
+	return uint32(p.Image[addr])<<24 | uint32(p.Image[addr+1])<<16 |
+		uint32(p.Image[addr+2])<<8 | uint32(p.Image[addr+3])
+}
+
+func TestBasicEncoding(t *testing.T) {
+	p := mustAssemble(t, `
+		ldi r1, 42
+		add r3, r1, r2
+		halt
+	`)
+	in := thor.Decode(word(p, 0))
+	if in.Op != thor.OpLDI || in.Rd != 1 || in.SImm() != 42 {
+		t.Errorf("LDI decoded as %v", in)
+	}
+	in = thor.Decode(word(p, 4))
+	if in.Op != thor.OpADD || in.Rd != 3 || in.Rs1 != 1 || in.Rs2 != 2 {
+		t.Errorf("ADD decoded as %v", in)
+	}
+	if thor.Decode(word(p, 8)).Op != thor.OpHALT {
+		t.Errorf("expected HALT at 8")
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+	start:
+		ldi r1, 0
+	loop:
+		addi r1, r1, 1
+		cmpi r1, 10
+		bne loop
+		halt
+	`)
+	// bne at address 12; target loop = 4; offset = (4-12-4)/4 = -3.
+	in := thor.Decode(word(p, 12))
+	if in.Op != thor.OpBNE || in.SImm() != -3 {
+		t.Errorf("BNE decoded as %v, want offset -3", in)
+	}
+	if p.Symbols["loop"] != 4 {
+		t.Errorf("loop symbol = %d, want 4", p.Symbols["loop"])
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+		.equ SIZE, 3
+		bra start
+	.org 0x20
+	data:
+		.word 10, 20, 0xdeadbeef
+		.space 8
+	after:
+		.word SIZE
+	.org 0x100
+	start:
+		halt
+	`)
+	if got := word(p, 0x20); got != 10 {
+		t.Errorf("data[0] = %d", got)
+	}
+	if got := word(p, 0x28); got != 0xdeadbeef {
+		t.Errorf("data[2] = %#x", got)
+	}
+	if p.Symbols["after"] != 0x2C+8 {
+		t.Errorf("after = %#x, want %#x", p.Symbols["after"], 0x2C+8)
+	}
+	if got := word(p, p.Symbols["after"]); got != 3 {
+		t.Errorf(".word SIZE = %d, want 3", got)
+	}
+	if thor.Decode(word(p, 0x100)).Op != thor.OpHALT {
+		t.Error("no HALT at 0x100")
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	p := mustAssemble(t, `
+		ld r2, [r1+8]
+		st [r1-4], r2
+		ld r3, [sp]
+	`)
+	in := thor.Decode(word(p, 0))
+	if in.Op != thor.OpLD || in.Rd != 2 || in.Rs1 != 1 || in.SImm() != 8 {
+		t.Errorf("LD decoded as %v", in)
+	}
+	in = thor.Decode(word(p, 4))
+	if in.Op != thor.OpST || in.Rd != 2 || in.Rs1 != 1 || in.SImm() != -4 {
+		t.Errorf("ST decoded as %v", in)
+	}
+	in = thor.Decode(word(p, 8))
+	if in.Rs1 != thor.RegSP || in.SImm() != 0 {
+		t.Errorf("LD [sp] decoded as %v", in)
+	}
+}
+
+func TestLAPseudo(t *testing.T) {
+	p := mustAssemble(t, `
+		la r1, buf
+		halt
+	.org 0x12340
+	buf:
+		.word 0
+	`)
+	in0 := thor.Decode(word(p, 0))
+	in1 := thor.Decode(word(p, 4))
+	if in0.Op != thor.OpLUI || in0.Imm != 0x1 {
+		t.Errorf("LA first word = %v", in0)
+	}
+	if in1.Op != thor.OpORI || in1.Imm != 0x2340 || in1.Rd != 1 || in1.Rs1 != 1 {
+		t.Errorf("LA second word = %v", in1)
+	}
+	if thor.Decode(word(p, 8)).Op != thor.OpHALT {
+		t.Error("HALT not after 8-byte LA expansion")
+	}
+}
+
+func TestRetPseudo(t *testing.T) {
+	p := mustAssemble(t, "ret")
+	in := thor.Decode(word(p, 0))
+	if in.Op != thor.OpJR || in.Rs1 != thor.RegLR {
+		t.Errorf("RET = %v", in)
+	}
+}
+
+func TestIOAndTrap(t *testing.T) {
+	p := mustAssemble(t, `
+		in r1, 3
+		out 5, r2
+		trap 2
+		kick
+	`)
+	in := thor.Decode(word(p, 0))
+	if in.Op != thor.OpIN || in.Rd != 1 || in.Imm != 3 {
+		t.Errorf("IN = %v", in)
+	}
+	in = thor.Decode(word(p, 4))
+	if in.Op != thor.OpOUT || in.Rd != 2 || in.Imm != 5 {
+		t.Errorf("OUT = %v", in)
+	}
+	in = thor.Decode(word(p, 8))
+	if in.Op != thor.OpTRAP || in.Imm != 2 {
+		t.Errorf("TRAP = %v", in)
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustAssemble(t, `
+		nop ; semicolon comment
+		nop // slash comment
+		nop # hash comment
+	`)
+	if len(p.Image) != 12 {
+		t.Errorf("image size = %d, want 12", len(p.Image))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "frobnicate r1", "unknown mnemonic"},
+		{"bad register", "ldi r99, 1", "bad register"},
+		{"imm overflow", "ldi r1, 70000", "does not fit"},
+		{"undefined symbol", "beq nowhere", "undefined symbol"},
+		{"duplicate label", "a:\nnop\na:\nnop", "duplicate"},
+		{"duplicate equ", ".equ X, 1\n.equ X, 2", "duplicate"},
+		{"wrong arity", "add r1, r2", "takes 3 operand"},
+		{"nop with operand", "nop r1", "takes 0 operand"},
+		{"unknown directive", ".bogus 1", "unknown directive"},
+		{"unaligned space", ".space 3", "word aligned"},
+		{"bad mem operand", "ld r1, r2", "memory operand"},
+		{"bad mem base", "ld r1, [zeta+4]", "register"},
+		{"mem offset overflow", "ld r1, [r2+40000]", "does not fit"},
+		{"mov bad dest", "mov r99, r1", "bad register"},
+		{"mov bad src", "mov r1, r99", "bad register"},
+		{"add bad rs2", "add r1, r2, bogus", "register"},
+		{"cmp bad reg", "cmp r1, bogus", "register"},
+		{"cmpi overflow", "cmpi r1, 70000", "does not fit"},
+		{"jr bad reg", "jr bogus", "register"},
+		{"pop bad reg", "pop bogus", "register"},
+		{"push bad reg", "push bogus", "register"},
+		{"in bad port", "in r1, 70000", "does not fit"},
+		{"in bad reg", "in bogus, 1", "register"},
+		{"out bad port", "out 70000, r1", "does not fit"},
+		{"out bad reg", "out 1, bogus", "register"},
+		{"trap overflow", "trap 70000", "does not fit"},
+		{"trap bad value", "trap nowhere", "undefined symbol"},
+		{"la bad reg", "la bogus, 5", "register"},
+		{"la bad value", "la r1, nowhere", "undefined symbol"},
+		{"lui negative", "lui r1, -1", "does not fit"},
+		{"ori negative", "ori r1, r1, -1", "does not fit"},
+		{"shli bad rs1", "shli r1, bogus, 2", "register"},
+		{"word no values", ".word", "at least one"},
+		{"org bad value", ".org nowhere", "cannot evaluate"},
+		{"equ wrong arity", ".equ X", "takes name, value"},
+		{"equ bad name", ".equ 9x, 1", "invalid name"},
+		{"bad label", "9bad:\nnop", "invalid label"},
+		{"branch bad target", "beq r1, r2", "takes 1 operand"},
+		{"subi overflow", "subi r1, r1, 70000", "does not fit"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble(tt.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tt.src)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus r1\n")
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if aerr.Line != 3 {
+		t.Errorf("error line = %d, want 3", aerr.Line)
+	}
+}
+
+func TestListing(t *testing.T) {
+	p := mustAssemble(t, "nop\nnop\nhalt\n")
+	if p.Listing[8] != 3 {
+		t.Errorf("listing[8] = %d, want line 3", p.Listing[8])
+	}
+}
+
+func TestSymbolAccessors(t *testing.T) {
+	p := mustAssemble(t, ".equ X, 7\nnop")
+	v, err := p.Symbol("X")
+	if err != nil || v != 7 {
+		t.Errorf("Symbol(X) = %d, %v", v, err)
+	}
+	if _, err := p.Symbol("missing"); err == nil {
+		t.Error("Symbol(missing) did not error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSymbol(missing) did not panic")
+		}
+	}()
+	p.MustSymbol("missing")
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p := mustAssemble(t, `
+		ldi r1, 5
+		addi r2, r1, -1
+		halt
+	`)
+	lines := Disassemble(p.Image)
+	if len(lines) != 3 {
+		t.Fatalf("disassembly has %d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[0], "LDI r1, 5") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "ADDI r2, r1, -1") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+}
+
+func TestNegativeOrgNumbersAndHex(t *testing.T) {
+	p := mustAssemble(t, `
+		ldi r1, -1
+		ldi r2, 0x7f
+	`)
+	if got := thor.Decode(word(p, 0)).SImm(); got != -1 {
+		t.Errorf("ldi -1 = %d", got)
+	}
+	if got := thor.Decode(word(p, 4)).SImm(); got != 0x7f {
+		t.Errorf("ldi 0x7f = %d", got)
+	}
+}

@@ -1,0 +1,315 @@
+// Package campaign defines GOOFI's persistent data model: the target
+// system configuration produced in the configuration phase (paper Fig 5),
+// the campaign definition produced in the set-up phase (Fig 6), and the
+// logged experiment records — mirroring the three database tables
+// TargetSystemData, CampaignData and LoggedSystemState with their foreign
+// keys (Fig 4).
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"goofi/internal/faultmodel"
+	"goofi/internal/scanchain"
+	"goofi/internal/trigger"
+)
+
+// TargetSystemData describes one configured target system: its test card
+// and the scan-chain maps entered in the configuration phase.
+type TargetSystemData struct {
+	// Name identifies the target system (primary key).
+	Name string `json:"name"`
+	// TestCardName identifies the host test card driving the target.
+	TestCardName string `json:"testCardName"`
+	// Chains are the configured scan chains with their named locations.
+	Chains []scanchain.Map `json:"chains"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+}
+
+// Validate checks the target system data.
+func (t *TargetSystemData) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("campaign: target system needs a name")
+	}
+	if len(t.Chains) == 0 {
+		return fmt.Errorf("campaign: target system %q has no scan chains", t.Name)
+	}
+	seen := make(map[string]bool)
+	for i := range t.Chains {
+		m := &t.Chains[i]
+		if seen[m.Chain] {
+			return fmt.Errorf("campaign: duplicate chain %q in target %q", m.Chain, t.Name)
+		}
+		seen[m.Chain] = true
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("campaign: target %q: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+// Chain returns the named scan-chain map.
+func (t *TargetSystemData) Chain(name string) (*scanchain.Map, error) {
+	for i := range t.Chains {
+		if t.Chains[i].Chain == name {
+			return &t.Chains[i], nil
+		}
+	}
+	return nil, fmt.Errorf("campaign: target %q has no chain %q", t.Name, name)
+}
+
+// Termination gives the conditions ending one experiment: "a time-out
+// value has been reached, an error has been detected or the execution of
+// the workload ends, whichever comes first" (paper §3.2), plus a maximum
+// iteration count for infinite-loop workloads.
+type Termination struct {
+	// TimeoutCycles ends the experiment after this many cycles.
+	TimeoutCycles uint64 `json:"timeoutCycles"`
+	// MaxIterations ends an infinite-loop workload after this many
+	// completed iterations (0 = run to HALT).
+	MaxIterations int `json:"maxIterations,omitempty"`
+}
+
+// Validate checks the termination spec.
+func (t *Termination) Validate() error {
+	if t.TimeoutCycles == 0 {
+		return fmt.Errorf("campaign: termination needs a timeout")
+	}
+	return nil
+}
+
+// WorkloadSpec names the target system workload and how to observe it.
+type WorkloadSpec struct {
+	// Name identifies the workload.
+	Name string `json:"name"`
+	// Source is THOR-S assembly, assembled at load time. Storing source
+	// keeps the campaign data portable across hosts.
+	Source string `json:"source"`
+	// InputPort and OutputPort carry environment-simulator data
+	// (paper §3.2: memory locations / ports holding input and output).
+	InputPort  uint16 `json:"inputPort"`
+	OutputPort uint16 `json:"outputPort"`
+	// ResultSymbols are data symbols whose memory is read back after the
+	// experiment (the readMemory building block).
+	ResultSymbols []string `json:"resultSymbols,omitempty"`
+	// ResultWords is the number of words read per result symbol
+	// (default 1).
+	ResultWords int `json:"resultWords,omitempty"`
+	// DeadlineCycles is the per-experiment deadline for timeliness
+	// checks; 0 disables the check.
+	DeadlineCycles uint64 `json:"deadlineCycles,omitempty"`
+	// OutputTail restricts the escaped-error output comparison to the
+	// last N output values (0 = compare everything exactly). Control
+	// workloads use it so that transient deviations the controller
+	// recovers from are not counted as critical failures.
+	OutputTail int `json:"outputTail,omitempty"`
+	// OutputTolerance is the per-value absolute tolerance (interpreted
+	// as int32) for the output comparison.
+	OutputTolerance uint32 `json:"outputTolerance,omitempty"`
+	// ResultTolerance is the per-word absolute tolerance for result
+	// memory comparison (words are big-endian int32).
+	ResultTolerance uint32 `json:"resultTolerance,omitempty"`
+	// RecoveryHandlers maps trap codes to handler symbols, enabling
+	// best-effort recovery from executable assertions.
+	RecoveryHandlers map[uint16]string `json:"recoveryHandlers,omitempty"`
+}
+
+// EnvSimSpec selects a registered environment simulator and its
+// parameters (paper §3.2: "a user provided environment simulator").
+type EnvSimSpec struct {
+	Name   string             `json:"name"`
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// LogMode selects how much system state is logged (paper §3.3).
+type LogMode string
+
+// Logging modes.
+const (
+	// LogNormal logs the system state only when the termination
+	// condition is fulfilled.
+	LogNormal LogMode = "normal"
+	// LogDetail logs the system state after every machine instruction,
+	// producing an execution trace for error-propagation analysis.
+	LogDetail LogMode = "detail"
+)
+
+// Campaign is one fault injection campaign definition (the CampaignData
+// table row).
+type Campaign struct {
+	// Name identifies the campaign (primary key).
+	Name string `json:"name"`
+	// TargetName references the TargetSystemData row (foreign key).
+	TargetName string `json:"targetName"`
+	// ChainName selects which scan chain faults are injected into.
+	ChainName string `json:"chainName"`
+	// Locations are names or dotted prefixes selecting fault injection
+	// locations from the chain's hierarchical list (Fig 6).
+	Locations []string `json:"locations"`
+	// Observe selects the locations logged in system state vectors
+	// (empty = whole chain).
+	Observe []string `json:"observe,omitempty"`
+	// FaultModel is the fault model selection.
+	FaultModel faultmodel.Spec `json:"faultModel"`
+	// Trigger gives the injection time. When RandomWindow is set the
+	// trigger kind must be "cycle" and each experiment draws a uniform
+	// cycle in [RandomWindow[0], RandomWindow[1]).
+	Trigger      trigger.Spec `json:"trigger"`
+	RandomWindow [2]uint64    `json:"randomWindow,omitempty"`
+	// NumExperiments is the number of faults to inject.
+	NumExperiments int `json:"numExperiments"`
+	// Seed drives all campaign randomness; same seed, same campaign.
+	Seed int64 `json:"seed"`
+	// Termination ends each experiment.
+	Termination Termination `json:"termination"`
+	// Workload is the target program.
+	Workload WorkloadSpec `json:"workload"`
+	// EnvSim optionally closes the loop around the workload.
+	EnvSim *EnvSimSpec `json:"envSim,omitempty"`
+	// LogMode selects normal or detail logging.
+	LogMode LogMode `json:"logMode"`
+}
+
+// Validate checks the campaign definition.
+func (c *Campaign) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("campaign: campaign needs a name")
+	}
+	if c.TargetName == "" {
+		return fmt.Errorf("campaign %q: needs a target system", c.Name)
+	}
+	if len(c.Locations) == 0 {
+		return fmt.Errorf("campaign %q: no fault injection locations selected", c.Name)
+	}
+	if err := c.FaultModel.Validate(); err != nil {
+		return fmt.Errorf("campaign %q: %w", c.Name, err)
+	}
+	if c.NumExperiments <= 0 {
+		return fmt.Errorf("campaign %q: needs a positive number of experiments", c.Name)
+	}
+	if err := c.Termination.Validate(); err != nil {
+		return fmt.Errorf("campaign %q: %w", c.Name, err)
+	}
+	if c.Workload.Source == "" {
+		return fmt.Errorf("campaign %q: workload has no source", c.Name)
+	}
+	if c.RandomWindow[1] > 0 {
+		if c.Trigger.Kind != "cycle" {
+			return fmt.Errorf("campaign %q: random time window requires a cycle trigger", c.Name)
+		}
+		if c.RandomWindow[1] <= c.RandomWindow[0] {
+			return fmt.Errorf("campaign %q: empty random time window", c.Name)
+		}
+	} else if _, err := c.Trigger.Build(); err != nil {
+		return fmt.Errorf("campaign %q: %w", c.Name, err)
+	}
+	switch c.LogMode {
+	case LogNormal, LogDetail:
+	case "":
+		return fmt.Errorf("campaign %q: log mode not set", c.Name)
+	default:
+		return fmt.Errorf("campaign %q: unknown log mode %q", c.Name, c.LogMode)
+	}
+	return nil
+}
+
+// OutcomeStatus summarises how an experiment ended.
+type OutcomeStatus string
+
+// Experiment end states.
+const (
+	// OutcomeCompleted means the workload ran to normal termination.
+	OutcomeCompleted OutcomeStatus = "completed"
+	// OutcomeDetected means an error detection mechanism fired.
+	OutcomeDetected OutcomeStatus = "detected"
+	// OutcomeTimeout means the time-out termination condition fired.
+	OutcomeTimeout OutcomeStatus = "timeout"
+)
+
+// Outcome is the recorded end state of one experiment.
+type Outcome struct {
+	Status OutcomeStatus `json:"status"`
+	// Mechanism names the EDM for detected outcomes.
+	Mechanism string `json:"mechanism,omitempty"`
+	// DetectionCycle is when the EDM fired.
+	DetectionCycle uint64 `json:"detectionCycle,omitempty"`
+	// Cycles is the total cycle count at termination.
+	Cycles uint64 `json:"cycles"`
+	// Iterations is the number of completed workload iterations.
+	Iterations int `json:"iterations,omitempty"`
+	// Recovered counts assertion failures that were recovered from.
+	Recovered int `json:"recovered,omitempty"`
+}
+
+// ExperimentData is the experimentData attribute of a LoggedSystemState
+// row: everything about the injection and how the run ended.
+type ExperimentData struct {
+	Seq            int              `json:"seq"`
+	Fault          faultmodel.Fault `json:"fault"`
+	LocationNames  []string         `json:"locationNames,omitempty"`
+	Trigger        trigger.Spec     `json:"trigger"`
+	InjectionCycle uint64           `json:"injectionCycle,omitempty"`
+	Injected       bool             `json:"injected"`
+	Outcome        Outcome          `json:"outcome"`
+}
+
+// StateVector is the logged system state: the observable scan-chain
+// contents, the observed result memory, and the workload outputs. It is
+// stored as the stateVector BLOB.
+type StateVector struct {
+	Scan    []byte              `json:"scan,omitempty"` // bitvec marshaled
+	Memory  map[string][]byte   `json:"memory,omitempty"`
+	Outputs map[uint16][]uint32 `json:"outputs,omitempty"`
+}
+
+// Encode serialises the state vector for storage.
+func (s *StateVector) Encode() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encode state vector: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeStateVector parses a stored state vector.
+func DecodeStateVector(b []byte) (*StateVector, error) {
+	var s StateVector
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("campaign: decode state vector: %w", err)
+	}
+	return &s, nil
+}
+
+// ExperimentRecord is one LoggedSystemState row.
+type ExperimentRecord struct {
+	// Name uniquely identifies the experiment ("experimentName").
+	Name string
+	// Parent tracks re-runs of earlier experiments ("parentExperiment",
+	// paper §2.3): a detail-mode re-run of experiment E1 records E1 here
+	// so E1's campaign data can be tracked.
+	Parent string
+	// Campaign references the CampaignData row.
+	Campaign string
+	// Data is the experiment metadata.
+	Data ExperimentData
+	// State is the logged state vector.
+	State StateVector
+	// Step is -1 for end-of-experiment records; detail-mode trace
+	// records use the instruction index.
+	Step int
+}
+
+// IsReference reports whether the record is the campaign's fault-free
+// reference run.
+func (r *ExperimentRecord) IsReference() bool { return r.Data.Seq < 0 }
+
+// ReferenceName returns the canonical experiment name of a campaign's
+// reference run.
+func ReferenceName(campaignName string) string { return campaignName + "/reference" }
+
+// ExperimentName returns the canonical name of the i-th experiment.
+func ExperimentName(campaignName string, i int) string {
+	return fmt.Sprintf("%s/exp%05d", campaignName, i)
+}

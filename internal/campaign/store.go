@@ -1,0 +1,317 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"goofi/internal/sqldb"
+)
+
+// Store persists target systems, campaigns and logged experiments in the
+// three-table schema of paper Fig 4, with foreign keys preventing
+// inconsistencies: CampaignData references TargetSystemData, and
+// LoggedSystemState references CampaignData.
+type Store struct {
+	db *sqldb.DB
+}
+
+// Schema is the DDL of the GOOFI database (Fig 4). Exposed so tools can
+// print it.
+var Schema = []string{
+	`CREATE TABLE IF NOT EXISTS TargetSystemData (
+		targetName   TEXT PRIMARY KEY,
+		testCardName TEXT NOT NULL,
+		config       BLOB NOT NULL
+	)`,
+	`CREATE TABLE IF NOT EXISTS CampaignData (
+		campaignName TEXT PRIMARY KEY,
+		targetName   TEXT NOT NULL,
+		testCardName TEXT,
+		config       BLOB NOT NULL,
+		FOREIGN KEY (targetName) REFERENCES TargetSystemData (targetName)
+	)`,
+	`CREATE TABLE IF NOT EXISTS LoggedSystemState (
+		experimentName   TEXT PRIMARY KEY,
+		parentExperiment TEXT,
+		campaignName     TEXT NOT NULL,
+		step             INTEGER NOT NULL,
+		experimentData   BLOB NOT NULL,
+		stateVector      BLOB NOT NULL,
+		FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName)
+	)`,
+}
+
+// NewStore initialises the schema on the given database and returns a
+// store over it.
+func NewStore(db *sqldb.DB) (*Store, error) {
+	for _, ddl := range Schema {
+		if _, err := db.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("campaign: init schema: %w", err)
+		}
+	}
+	return &Store{db: db}, nil
+}
+
+// DB exposes the underlying database for the analysis phase, which runs
+// user SQL against LoggedSystemState (paper §3.4).
+func (s *Store) DB() *sqldb.DB { return s.db }
+
+// PutTargetSystem inserts or replaces a target system configuration.
+func (s *Store) PutTargetSystem(t *TargetSystemData) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cfg, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal target %q: %w", t.Name, err)
+	}
+	n, err := s.db.Exec(`UPDATE TargetSystemData SET testCardName = ?, config = ? WHERE targetName = ?`,
+		sqldb.Text(t.TestCardName), sqldb.Blob(cfg), sqldb.Text(t.Name))
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		_, err = s.db.Exec(`INSERT INTO TargetSystemData VALUES (?, ?, ?)`,
+			sqldb.Text(t.Name), sqldb.Text(t.TestCardName), sqldb.Blob(cfg))
+	}
+	return err
+}
+
+// GetTargetSystem loads a target system configuration by name.
+func (s *Store) GetTargetSystem(name string) (*TargetSystemData, error) {
+	r, err := s.db.Query(`SELECT config FROM TargetSystemData WHERE targetName = ?`, sqldb.Text(name))
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Rows) == 0 {
+		return nil, fmt.Errorf("campaign: no target system %q", name)
+	}
+	var t TargetSystemData
+	if err := json.Unmarshal(r.Rows[0][0].B, &t); err != nil {
+		return nil, fmt.Errorf("campaign: unmarshal target %q: %w", name, err)
+	}
+	return &t, nil
+}
+
+// ListTargetSystems returns the configured target system names.
+func (s *Store) ListTargetSystems() ([]string, error) {
+	r, err := s.db.Query(`SELECT targetName FROM TargetSystemData ORDER BY targetName`)
+	if err != nil {
+		return nil, err
+	}
+	return textColumn(r, 0), nil
+}
+
+// PutCampaign inserts or replaces a campaign definition. The referenced
+// target system must exist (foreign key).
+func (s *Store) PutCampaign(c *Campaign) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	cfg, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal campaign %q: %w", c.Name, err)
+	}
+	ts, err := s.GetTargetSystem(c.TargetName)
+	if err != nil {
+		return fmt.Errorf("campaign %q: %w", c.Name, err)
+	}
+	n, err := s.db.Exec(`UPDATE CampaignData SET targetName = ?, testCardName = ?, config = ? WHERE campaignName = ?`,
+		sqldb.Text(c.TargetName), sqldb.Text(ts.TestCardName), sqldb.Blob(cfg), sqldb.Text(c.Name))
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		_, err = s.db.Exec(`INSERT INTO CampaignData VALUES (?, ?, ?, ?)`,
+			sqldb.Text(c.Name), sqldb.Text(c.TargetName), sqldb.Text(ts.TestCardName), sqldb.Blob(cfg))
+	}
+	return err
+}
+
+// GetCampaign loads a campaign definition by name.
+func (s *Store) GetCampaign(name string) (*Campaign, error) {
+	r, err := s.db.Query(`SELECT config FROM CampaignData WHERE campaignName = ?`, sqldb.Text(name))
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Rows) == 0 {
+		return nil, fmt.Errorf("campaign: no campaign %q", name)
+	}
+	var c Campaign
+	if err := json.Unmarshal(r.Rows[0][0].B, &c); err != nil {
+		return nil, fmt.Errorf("campaign: unmarshal campaign %q: %w", name, err)
+	}
+	return &c, nil
+}
+
+// ListCampaigns returns all campaign names.
+func (s *Store) ListCampaigns() ([]string, error) {
+	r, err := s.db.Query(`SELECT campaignName FROM CampaignData ORDER BY campaignName`)
+	if err != nil {
+		return nil, err
+	}
+	return textColumn(r, 0), nil
+}
+
+// MergeCampaigns combines earlier campaigns into a new one (paper §3.2:
+// the user "may ... merge campaign data from several fault injection
+// campaigns into a new fault injection campaign"). The first source
+// provides the base configuration; locations are unioned and experiment
+// counts summed. All sources must share a target system and workload.
+func (s *Store) MergeCampaigns(newName string, sources ...string) (*Campaign, error) {
+	if len(sources) < 2 {
+		return nil, fmt.Errorf("campaign: merge needs at least two sources")
+	}
+	base, err := s.GetCampaign(sources[0])
+	if err != nil {
+		return nil, err
+	}
+	merged := *base
+	merged.Name = newName
+	seen := make(map[string]bool)
+	for _, l := range merged.Locations {
+		seen[l] = true
+	}
+	for _, src := range sources[1:] {
+		c, err := s.GetCampaign(src)
+		if err != nil {
+			return nil, err
+		}
+		if c.TargetName != merged.TargetName {
+			return nil, fmt.Errorf("campaign: merge across target systems (%q vs %q)",
+				c.TargetName, merged.TargetName)
+		}
+		if c.Workload.Name != merged.Workload.Name {
+			return nil, fmt.Errorf("campaign: merge across workloads (%q vs %q)",
+				c.Workload.Name, merged.Workload.Name)
+		}
+		for _, l := range c.Locations {
+			if !seen[l] {
+				seen[l] = true
+				merged.Locations = append(merged.Locations, l)
+			}
+		}
+		merged.NumExperiments += c.NumExperiments
+	}
+	if err := s.PutCampaign(&merged); err != nil {
+		return nil, err
+	}
+	return &merged, nil
+}
+
+// LogExperiment stores one LoggedSystemState row.
+func (s *Store) LogExperiment(r *ExperimentRecord) error {
+	data, err := json.Marshal(&r.Data)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal experiment data: %w", err)
+	}
+	state, err := r.State.Encode()
+	if err != nil {
+		return err
+	}
+	parent := sqldb.Null()
+	if r.Parent != "" {
+		parent = sqldb.Text(r.Parent)
+	}
+	_, err = s.db.Exec(`INSERT INTO LoggedSystemState VALUES (?, ?, ?, ?, ?, ?)`,
+		sqldb.Text(r.Name), parent, sqldb.Text(r.Campaign), sqldb.Int(int64(r.Step)),
+		sqldb.Blob(data), sqldb.Blob(state))
+	return err
+}
+
+// GetExperiment loads one LoggedSystemState row by experiment name.
+func (s *Store) GetExperiment(name string) (*ExperimentRecord, error) {
+	r, err := s.db.Query(`SELECT experimentName, parentExperiment, campaignName, step, experimentData, stateVector
+		FROM LoggedSystemState WHERE experimentName = ?`, sqldb.Text(name))
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Rows) == 0 {
+		return nil, fmt.Errorf("campaign: no experiment %q", name)
+	}
+	return decodeExperimentRow(r.Rows[0])
+}
+
+// Experiments returns the end-of-experiment records of a campaign in
+// sequence order, excluding detail-mode trace steps.
+func (s *Store) Experiments(campaignName string) ([]*ExperimentRecord, error) {
+	r, err := s.db.Query(`SELECT experimentName, parentExperiment, campaignName, step, experimentData, stateVector
+		FROM LoggedSystemState WHERE campaignName = ? AND step = -1 ORDER BY experimentName`,
+		sqldb.Text(campaignName))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ExperimentRecord, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rec, err := decodeExperimentRow(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Trace returns the detail-mode per-instruction records of one experiment
+// in step order.
+func (s *Store) Trace(experimentName string) ([]*ExperimentRecord, error) {
+	r, err := s.db.Query(`SELECT experimentName, parentExperiment, campaignName, step, experimentData, stateVector
+		FROM LoggedSystemState WHERE parentExperiment = ? AND step >= 0 ORDER BY step`,
+		sqldb.Text(experimentName))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ExperimentRecord, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rec, err := decodeExperimentRow(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// DeleteExperiments removes all logged state of a campaign (for re-runs).
+// Derived analysis rows referencing the logged experiments are removed
+// first, so the foreign keys cannot block the re-run.
+func (s *Store) DeleteExperiments(campaignName string) error {
+	for _, t := range s.db.TableNames() {
+		if t == "AnalysisResults" {
+			if _, err := s.db.Exec(`DELETE FROM AnalysisResults WHERE campaignName = ?`,
+				sqldb.Text(campaignName)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := s.db.Exec(`DELETE FROM LoggedSystemState WHERE campaignName = ?`, sqldb.Text(campaignName))
+	return err
+}
+
+func decodeExperimentRow(row []sqldb.Value) (*ExperimentRecord, error) {
+	rec := &ExperimentRecord{
+		Name:     row[0].S,
+		Campaign: row[2].S,
+		Step:     int(row[3].I),
+	}
+	if !row[1].IsNull() {
+		rec.Parent = row[1].S
+	}
+	if err := json.Unmarshal(row[4].B, &rec.Data); err != nil {
+		return nil, fmt.Errorf("campaign: unmarshal experiment data: %w", err)
+	}
+	sv, err := DecodeStateVector(row[5].B)
+	if err != nil {
+		return nil, err
+	}
+	rec.State = *sv
+	return rec, nil
+}
+
+func textColumn(r *sqldb.Result, i int) []string {
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, row[i].S)
+	}
+	return out
+}

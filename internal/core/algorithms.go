@@ -1,0 +1,201 @@
+package core
+
+import "fmt"
+
+// Algorithm is one fault injection algorithm: a fixed sequence of the
+// abstract target-system methods. The paper defines one per technique in
+// the FaultInjectionAlgorithms class (Fig 2); adding a technique to GOOFI
+// means adding an Algorithm here and implementing the methods it uses in
+// the target (paper §2.1).
+type Algorithm struct {
+	// Name identifies the technique ("scifi", "swifi-preruntime", ...).
+	Name string
+	// Run executes one experiment against the target.
+	Run func(ts TargetSystem, ex *Experiment) error
+}
+
+// namedStep runs one abstract method and records it in the step trace.
+func namedStep(ex *Experiment, name string, fn func(*Experiment) error) error {
+	ex.step(name)
+	if err := fn(ex); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return nil
+}
+
+// SCIFI is the scan-chain implemented fault injection algorithm, step for
+// step the faultInjectorSCIFI method of paper Fig 2:
+//
+//	initTestCard, loadWorkload, writeMemory, runWorkload,
+//	waitForBreakpoint, readScanChain, injectFault, writeScanChain,
+//	waitForTermination, readMemory, readScanChain.
+//
+// The reference run executes the same sequence without the injection trio,
+// logging the fault-free system state (makeReferenceRun).
+var SCIFI = Algorithm{
+	Name: "scifi",
+	Run: func(ts TargetSystem, ex *Experiment) error {
+		if err := namedStep(ex, "initTestCard", ts.InitTestCard); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "loadWorkload", ts.LoadWorkload); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "writeMemory", ts.WriteMemory); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "runWorkload", ts.RunWorkload); err != nil {
+			return err
+		}
+		if !ex.IsReference() {
+			if err := namedStep(ex, "waitForBreakpoint", ts.WaitForBreakpoint); err != nil {
+				return err
+			}
+			if err := namedStep(ex, "readScanChain", ts.ReadScanChain); err != nil {
+				return err
+			}
+			if err := namedStep(ex, "injectFault", ts.InjectFault); err != nil {
+				return err
+			}
+			if err := namedStep(ex, "writeScanChain", ts.WriteScanChain); err != nil {
+				return err
+			}
+		}
+		if err := namedStep(ex, "waitForTermination", ts.WaitForTermination); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "readMemory", ts.ReadMemory); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "readScanChain", ts.ReadScanChain); err != nil {
+			return err
+		}
+		ex.Result.FinalScan = ex.ScanVector
+		return nil
+	},
+}
+
+// PreRuntimeSWIFI is pre-runtime software implemented fault injection:
+// "faults are injected into the program and data areas of the target
+// system before it starts to execute" (paper §1). The injection happens
+// between loadWorkload and writeMemory — the workload image is mutated on
+// the host and then downloaded. Note how the building blocks are reused
+// across techniques (paper §2.1): only injectFault differs in meaning.
+var PreRuntimeSWIFI = Algorithm{
+	Name: "swifi-preruntime",
+	Run: func(ts TargetSystem, ex *Experiment) error {
+		if err := namedStep(ex, "initTestCard", ts.InitTestCard); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "loadWorkload", ts.LoadWorkload); err != nil {
+			return err
+		}
+		if !ex.IsReference() {
+			if err := namedStep(ex, "injectFault", ts.InjectFault); err != nil {
+				return err
+			}
+		}
+		if err := namedStep(ex, "writeMemory", ts.WriteMemory); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "runWorkload", ts.RunWorkload); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "waitForTermination", ts.WaitForTermination); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "readMemory", ts.ReadMemory); err != nil {
+			return err
+		}
+		return nil
+	},
+}
+
+// RuntimeSWIFI is runtime software implemented fault injection (a paper §4
+// extension): the workload runs to the injection point, is stopped, the
+// fault is applied through software (memory mutation), and execution
+// resumes. It reuses the SCIFI structure with memory-level injection.
+var RuntimeSWIFI = Algorithm{
+	Name: "swifi-runtime",
+	Run: func(ts TargetSystem, ex *Experiment) error {
+		if err := namedStep(ex, "initTestCard", ts.InitTestCard); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "loadWorkload", ts.LoadWorkload); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "writeMemory", ts.WriteMemory); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "runWorkload", ts.RunWorkload); err != nil {
+			return err
+		}
+		if !ex.IsReference() {
+			if err := namedStep(ex, "waitForBreakpoint", ts.WaitForBreakpoint); err != nil {
+				return err
+			}
+			if err := namedStep(ex, "injectFault", ts.InjectFault); err != nil {
+				return err
+			}
+		}
+		if err := namedStep(ex, "waitForTermination", ts.WaitForTermination); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "readMemory", ts.ReadMemory); err != nil {
+			return err
+		}
+		return nil
+	},
+}
+
+// PinLevel is pin-level fault injection (paper §2.1 names it as a
+// composable technique): the fault is forced onto the circuit pins via
+// the boundary-scan register while the workload runs.
+var PinLevel = Algorithm{
+	Name: "pin-level",
+	Run: func(ts TargetSystem, ex *Experiment) error {
+		if err := namedStep(ex, "initTestCard", ts.InitTestCard); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "loadWorkload", ts.LoadWorkload); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "writeMemory", ts.WriteMemory); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "runWorkload", ts.RunWorkload); err != nil {
+			return err
+		}
+		if !ex.IsReference() {
+			if err := namedStep(ex, "waitForBreakpoint", ts.WaitForBreakpoint); err != nil {
+				return err
+			}
+			if err := namedStep(ex, "readScanChain", ts.ReadScanChain); err != nil {
+				return err
+			}
+			if err := namedStep(ex, "injectFault", ts.InjectFault); err != nil {
+				return err
+			}
+			if err := namedStep(ex, "writeScanChain", ts.WriteScanChain); err != nil {
+				return err
+			}
+		}
+		if err := namedStep(ex, "waitForTermination", ts.WaitForTermination); err != nil {
+			return err
+		}
+		if err := namedStep(ex, "readMemory", ts.ReadMemory); err != nil {
+			return err
+		}
+		return nil
+	},
+}
+
+// Algorithms lists the built-in fault injection algorithms by name.
+func Algorithms() map[string]Algorithm {
+	return map[string]Algorithm{
+		SCIFI.Name:           SCIFI,
+		PreRuntimeSWIFI.Name: PreRuntimeSWIFI,
+		RuntimeSWIFI.Name:    RuntimeSWIFI,
+		PinLevel.Name:        PinLevel,
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"goofi/internal/bitvec"
+	"goofi/internal/campaign"
+	"goofi/internal/faultmodel"
+	"goofi/internal/trigger"
+)
+
+// Experiment is the context shared by the abstract methods during one
+// fault injection experiment. The algorithms (Fig 2) create one per
+// experiment; the paper's argument-less Java methods communicated through
+// instance state, which Go renders as this explicit context.
+type Experiment struct {
+	// Campaign is the campaign definition driving the experiment.
+	Campaign *campaign.Campaign
+	// Seq is the experiment index within the campaign; -1 marks the
+	// fault-free reference run.
+	Seq int
+	// Name is the unique experiment name (LoggedSystemState key).
+	Name string
+	// Fault is the fault to inject; nil for the reference run.
+	Fault *faultmodel.Fault
+	// Trigger is the injection-time trigger spec for this experiment
+	// (per-experiment when the campaign draws random injection times).
+	Trigger trigger.Spec
+	// RNG is the experiment's seeded random source; targets and fault
+	// models must draw randomness only from it, keeping runs replayable.
+	RNG *rand.Rand
+
+	// ScanVector is the scan chain contents between ReadScanChain and
+	// WriteScanChain.
+	ScanVector *bitvec.Vector
+	// InjectionCycle records when the injection point was reached
+	// (set by the target in WaitForBreakpoint).
+	InjectionCycle uint64
+	// Injected reports whether InjectFault actually applied a fault.
+	Injected bool
+
+	// Result accumulates the experiment's observations.
+	Result Result
+
+	// DetailSink, when non-nil, receives a state vector after every
+	// machine instruction (detail mode, paper §3.3). Targets call it
+	// from their execution loop.
+	DetailSink func(step int, sv *campaign.StateVector) error
+
+	// StepTrace records the abstract-method sequence executed by the
+	// algorithm, for verification and debugging.
+	StepTrace []string
+
+	// scratch carries target-private state between abstract methods
+	// (e.g. the assembled workload image between LoadWorkload and
+	// WriteMemory).
+	scratch map[string]interface{}
+}
+
+// IsReference reports whether this is the campaign's fault-free
+// reference run.
+func (ex *Experiment) IsReference() bool { return ex.Seq < 0 }
+
+// PutScratch stores target-private state under a key.
+func (ex *Experiment) PutScratch(key string, v interface{}) {
+	if ex.scratch == nil {
+		ex.scratch = make(map[string]interface{})
+	}
+	ex.scratch[key] = v
+}
+
+// Scratch retrieves target-private state.
+func (ex *Experiment) Scratch(key string) (interface{}, bool) {
+	v, ok := ex.scratch[key]
+	return v, ok
+}
+
+// step records one abstract-method invocation.
+func (ex *Experiment) step(name string) {
+	ex.StepTrace = append(ex.StepTrace, name)
+}
+
+// Result holds everything observed from one experiment.
+type Result struct {
+	// Outcome summarises how the run ended.
+	Outcome campaign.Outcome
+	// FinalScan is the scan chain read after termination.
+	FinalScan *bitvec.Vector
+	// Memory maps result symbols to their observed bytes.
+	Memory map[string][]byte
+	// Outputs maps output ports to the values the workload emitted.
+	Outputs map[uint16][]uint32
+}
+
+// StateVector packages the result as a LoggedSystemState stateVector.
+func (r *Result) StateVector() (*campaign.StateVector, error) {
+	sv := &campaign.StateVector{Memory: r.Memory, Outputs: r.Outputs}
+	if r.FinalScan != nil {
+		b, err := r.FinalScan.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("core: marshal final scan state: %w", err)
+		}
+		sv.Scan = b
+	}
+	return sv, nil
+}
+
+// Record builds the LoggedSystemState row for the experiment.
+func (ex *Experiment) Record() (*campaign.ExperimentRecord, error) {
+	sv, err := ex.Result.StateVector()
+	if err != nil {
+		return nil, err
+	}
+	data := campaign.ExperimentData{
+		Seq:            ex.Seq,
+		Trigger:        ex.Trigger,
+		InjectionCycle: ex.InjectionCycle,
+		Injected:       ex.Injected,
+		Outcome:        ex.Result.Outcome,
+	}
+	if ex.Fault != nil {
+		data.Fault = *ex.Fault
+	}
+	return &campaign.ExperimentRecord{
+		Name:     ex.Name,
+		Campaign: ex.Campaign.Name,
+		Data:     data,
+		State:    *sv,
+		Step:     -1,
+	}, nil
+}

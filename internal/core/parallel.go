@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"goofi/internal/campaign"
+	"goofi/internal/faultmodel"
+	"goofi/internal/trigger"
+)
+
+// plannedExperiment is one pre-drawn injection.
+type plannedExperiment struct {
+	seq   int
+	fault faultmodel.Fault
+	trig  trigger.Spec
+}
+
+// plan draws the campaign's complete injection plan up front: the same
+// stream a sequential Run would consume, so parallel execution yields
+// bit-identical per-experiment results regardless of the board count.
+func (r *Runner) plan() ([]plannedExperiment, int, error) {
+	sp, _, err := r.space()
+	if err != nil {
+		return nil, 0, err
+	}
+	planRNG := rand.New(rand.NewSource(r.camp.Seed))
+	out := make([]plannedExperiment, 0, r.camp.NumExperiments)
+	skipped := 0
+	maxRedraws := 1000 * r.camp.NumExperiments
+	for i := 0; i < r.camp.NumExperiments; i++ {
+		for {
+			fault, err := sp.Sample(&r.camp.FaultModel, planRNG)
+			if err != nil {
+				return nil, 0, err
+			}
+			trig := r.camp.Trigger
+			if r.camp.RandomWindow[1] > 0 {
+				span := r.camp.RandomWindow[1] - r.camp.RandomWindow[0]
+				trig.Cycle = r.camp.RandomWindow[0] + uint64(planRNG.Int63n(int64(span)))
+			}
+			if r.filter == nil || r.filter(fault, trig) {
+				out = append(out, plannedExperiment{seq: i, fault: fault, trig: trig})
+				break
+			}
+			skipped++
+			if skipped > maxRedraws {
+				return nil, 0, fmt.Errorf("core: campaign %q: pre-injection filter rejected %d draws",
+					r.camp.Name, skipped)
+			}
+		}
+	}
+	return out, skipped, nil
+}
+
+// RunParallel executes the campaign across several simulated boards, each
+// created by factory. Experiment outcomes are identical to a sequential
+// Run with the same campaign (each experiment is fully re-initialised on
+// whichever board runs it); only wall-clock time changes. The progress
+// callback, when set, is invoked from multiple goroutines and must be
+// safe for concurrent use. Pause/Resume/Stop work as in Run.
+func (r *Runner) RunParallel(ctx context.Context, boards int, factory func() TargetSystem) (*Summary, error) {
+	if boards < 1 {
+		return nil, fmt.Errorf("core: board count %d < 1", boards)
+	}
+	cancelWatch := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer cancelWatch()
+
+	planned, skipped, err := r.plan()
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{
+		Campaign:    r.camp.Name,
+		Skipped:     skipped,
+		ByStatus:    make(map[campaign.OutcomeStatus]int),
+		ByMechanism: make(map[string]int),
+	}
+
+	// Reference run on one board before fanning out.
+	r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
+	refTarget := factory()
+	ref := r.newExperiment(-1, nil, trigger.Spec{})
+	if err := r.alg.Run(refTarget, ref); err != nil {
+		return nil, fmt.Errorf("core: campaign %q %s: %w", r.camp.Name, ref.Name, err)
+	}
+	if r.store != nil {
+		rec, err := ref.Record()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.store.LogExperiment(rec); err != nil {
+			return nil, err
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	work := make(chan plannedExperiment)
+	var wg sync.WaitGroup
+	for b := 0; b < boards; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			target := factory()
+			for pe := range work {
+				ex := r.newExperiment(pe.seq, &pe.fault, pe.trig)
+				err := r.alg.Run(target, ex)
+				var rec *campaign.ExperimentRecord
+				if err == nil && r.store != nil {
+					rec, err = ex.Record()
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: campaign %q %s: %w", r.camp.Name, ex.Name, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				if rec != nil {
+					if lerr := r.store.LogExperiment(rec); lerr != nil && firstErr == nil {
+						firstErr = lerr
+					}
+				}
+				sum.Experiments++
+				if ex.Injected {
+					sum.Injected++
+				}
+				st := ex.Result.Outcome.Status
+				sum.ByStatus[st]++
+				if st == campaign.OutcomeDetected {
+					sum.ByMechanism[ex.Result.Outcome.Mechanism]++
+				}
+				done++
+				ev := ProgressEvent{
+					Campaign:   r.camp.Name,
+					Phase:      "experiment",
+					Done:       done,
+					Total:      r.camp.NumExperiments,
+					Experiment: ex.Name,
+					Outcome:    st,
+				}
+				mu.Unlock()
+				r.emit(ev)
+			}
+		}()
+	}
+
+dispatch:
+	for _, pe := range planned {
+		if !r.checkpoint(ctx) {
+			break dispatch
+		}
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break dispatch
+		}
+		select {
+		case work <- pe:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if ctx.Err() != nil {
+		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "stopped",
+			Done: sum.Experiments, Total: r.camp.NumExperiments})
+		return sum, ctx.Err()
+	}
+	phase := "done"
+	if sum.Experiments < r.camp.NumExperiments {
+		phase = "stopped"
+	}
+	r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: phase,
+		Done: sum.Experiments, Total: r.camp.NumExperiments})
+	return sum, nil
+}

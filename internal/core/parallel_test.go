@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"goofi/internal/campaign"
+)
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	// Sequential reference.
+	camp := fakeCampaign(30)
+	stSeq := storeWithCampaign(t, camp)
+	rSeq, err := NewRunner(newFakeTarget(), SCIFI, camp, fakeTSD(), WithStore(stSeq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSum, err := rSeq.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Parallel across 4 boards.
+	stPar := storeWithCampaign(t, camp)
+	rPar, err := NewRunner(nil, SCIFI, camp, fakeTSD(), WithStore(stPar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSum, err := rPar.RunParallel(context.Background(), 4, func() TargetSystem { return newFakeTarget() })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if parSum.Experiments != seqSum.Experiments || parSum.Injected != seqSum.Injected {
+		t.Errorf("summaries differ: seq %+v, par %+v", seqSum, parSum)
+	}
+	for st, n := range seqSum.ByStatus {
+		if parSum.ByStatus[st] != n {
+			t.Errorf("status %v: seq %d, par %d", st, n, parSum.ByStatus[st])
+		}
+	}
+
+	// Per-experiment outcomes are identical record by record.
+	seqRecs, err := stSeq.Experiments("fc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRecs, err := stPar.Experiments("fc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRecs) != len(parRecs) {
+		t.Fatalf("record counts: seq %d, par %d", len(seqRecs), len(parRecs))
+	}
+	for i := range seqRecs {
+		if seqRecs[i].Name != parRecs[i].Name {
+			t.Fatalf("record %d name: %q vs %q", i, seqRecs[i].Name, parRecs[i].Name)
+		}
+		if seqRecs[i].Data.Outcome != parRecs[i].Data.Outcome {
+			t.Errorf("%s outcome: seq %+v, par %+v",
+				seqRecs[i].Name, seqRecs[i].Data.Outcome, parRecs[i].Data.Outcome)
+		}
+		if len(seqRecs[i].Data.Fault.Bits) > 0 &&
+			seqRecs[i].Data.Fault.Bits[0] != parRecs[i].Data.Fault.Bits[0] {
+			t.Errorf("%s fault differs", seqRecs[i].Name)
+		}
+	}
+}
+
+func TestRunParallelProgressThreadSafe(t *testing.T) {
+	camp := fakeCampaign(40)
+	var mu sync.Mutex
+	count := 0
+	r, err := NewRunner(nil, SCIFI, camp, fakeTSD(), WithProgress(func(ev ProgressEvent) {
+		mu.Lock()
+		if ev.Phase == "experiment" {
+			count++
+		}
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := r.RunParallel(context.Background(), 8, func() TargetSystem { return newFakeTarget() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 40 || sum.Experiments != 40 {
+		t.Errorf("progress events %d, experiments %d", count, sum.Experiments)
+	}
+}
+
+func TestRunParallelStop(t *testing.T) {
+	camp := fakeCampaign(10000)
+	var r *Runner
+	var once sync.Once
+	var err error
+	r, err = NewRunner(nil, SCIFI, camp, fakeTSD(), WithProgress(func(ev ProgressEvent) {
+		if ev.Phase == "experiment" && ev.Done >= 10 {
+			once.Do(r.Stop)
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := r.RunParallel(context.Background(), 4, func() TargetSystem { return newFakeTarget() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Experiments >= 10000 || sum.Experiments < 10 {
+		t.Errorf("experiments after stop = %d", sum.Experiments)
+	}
+}
+
+func TestRunParallelBadBoardCount(t *testing.T) {
+	camp := fakeCampaign(5)
+	r, err := NewRunner(nil, SCIFI, camp, fakeTSD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunParallel(context.Background(), 0, func() TargetSystem { return newFakeTarget() }); err == nil {
+		t.Error("zero boards accepted")
+	}
+}
+
+func TestRunParallelTargetError(t *testing.T) {
+	camp := fakeCampaign(20)
+	r, err := NewRunner(nil, SCIFI, camp, fakeTSD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Framework with nothing implemented fails on the first method.
+	_, err = r.RunParallel(context.Background(), 2, func() TargetSystem {
+		return &Framework{TargetName: "broken"}
+	})
+	if err == nil {
+		t.Error("broken target did not surface an error")
+	}
+}
+
+func TestRunParallelContextCancel(t *testing.T) {
+	camp := fakeCampaign(100000)
+	ctx, cancel := context.WithCancel(context.Background())
+	r, err := NewRunner(nil, SCIFI, camp, fakeTSD(), WithProgress(func(ev ProgressEvent) {
+		if ev.Phase == "experiment" && ev.Done == 5 {
+			cancel()
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.RunParallel(ctx, 4, func() TargetSystem { return newFakeTarget() })
+	if err == nil {
+		t.Error("cancelled context did not surface")
+	}
+}
+
+func TestRunParallelLogsReference(t *testing.T) {
+	camp := fakeCampaign(5)
+	st := storeWithCampaign(t, camp)
+	r, err := NewRunner(nil, SCIFI, camp, fakeTSD(), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunParallel(context.Background(), 2, func() TargetSystem { return newFakeTarget() }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetExperiment(campaign.ReferenceName("fc")); err != nil {
+		t.Errorf("reference run not logged: %v", err)
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"goofi/internal/campaign"
+	"goofi/internal/faultmodel"
+	"goofi/internal/scanchain"
+	"goofi/internal/trigger"
+)
+
+// ProgressEvent is one update shown in the progress window (paper Fig 7):
+// how many experiments have run, what phase the tool is in, and which
+// experiment is active.
+type ProgressEvent struct {
+	Campaign   string
+	Phase      string // "reference", "experiment", "paused", "done", "stopped"
+	Done       int
+	Total      int
+	Experiment string
+	Outcome    campaign.OutcomeStatus
+}
+
+// Summary aggregates a campaign's raw outcomes. (Dependability measures —
+// effective/latent/overwritten classification — come from the analysis
+// phase, which compares logged states against the reference run.)
+type Summary struct {
+	Campaign    string
+	Experiments int
+	Injected    int
+	// Skipped counts injections rejected by the pre-injection filter
+	// before an experiment was spent on them.
+	Skipped     int
+	ByStatus    map[campaign.OutcomeStatus]int
+	ByMechanism map[string]int
+}
+
+// Runner executes fault injection campaigns: a reference run followed by
+// NumExperiments fault injection experiments, with logging to the GOOFI
+// database and pause/resume/stop control (paper Fig 7).
+type Runner struct {
+	target TargetSystem
+	alg    Algorithm
+	camp   *campaign.Campaign
+	tsd    *campaign.TargetSystemData
+
+	store      *campaign.Store
+	onProgress func(ProgressEvent)
+	filter     func(f faultmodel.Fault, trig trigger.Spec) bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	paused  bool
+	stopped bool
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithStore enables database logging of every experiment.
+func WithStore(s *campaign.Store) RunnerOption {
+	return func(r *Runner) { r.store = s }
+}
+
+// WithProgress installs a progress callback. It is invoked synchronously
+// from the campaign goroutine; keep it fast.
+func WithProgress(fn func(ProgressEvent)) RunnerOption {
+	return func(r *Runner) { r.onProgress = fn }
+}
+
+// WithInjectionFilter installs a pre-injection filter (paper §4): drawn
+// injections the filter rejects are skipped and redrawn, so every spent
+// experiment targets live state. The number of skips is reported in
+// Summary.Skipped.
+func WithInjectionFilter(fn func(f faultmodel.Fault, trig trigger.Spec) bool) RunnerOption {
+	return func(r *Runner) { r.filter = fn }
+}
+
+// NewRunner builds a runner for one campaign against one target system.
+func NewRunner(ts TargetSystem, alg Algorithm, camp *campaign.Campaign,
+	tsd *campaign.TargetSystemData, opts ...RunnerOption) (*Runner, error) {
+	if err := camp.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tsd.Validate(); err != nil {
+		return nil, err
+	}
+	if camp.TargetName != tsd.Name {
+		return nil, fmt.Errorf("core: campaign %q targets %q, got target system %q",
+			camp.Name, camp.TargetName, tsd.Name)
+	}
+	r := &Runner{target: ts, alg: alg, camp: camp, tsd: tsd}
+	r.cond = sync.NewCond(&r.mu)
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// Pause suspends the campaign between experiments.
+func (r *Runner) Pause() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.paused = true
+}
+
+// Resume continues a paused campaign (the "restart" control of Fig 7).
+func (r *Runner) Resume() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.paused = false
+	r.cond.Broadcast()
+}
+
+// Stop ends the campaign after the current experiment.
+func (r *Runner) Stop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stopped = true
+	r.paused = false
+	r.cond.Broadcast()
+}
+
+// checkpoint blocks while paused; it reports false when the campaign
+// should stop (Stop called or context cancelled). The paused progress
+// event is emitted outside the lock so a callback may call Resume or
+// Stop synchronously.
+func (r *Runner) checkpoint(ctx context.Context) bool {
+	r.mu.Lock()
+	pausedNow := r.paused && !r.stopped
+	r.mu.Unlock()
+	if pausedNow {
+		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "paused"})
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.paused && !r.stopped && ctx.Err() == nil {
+		r.cond.Wait()
+	}
+	return !r.stopped && ctx.Err() == nil
+}
+
+func (r *Runner) emit(ev ProgressEvent) {
+	if r.onProgress != nil {
+		r.onProgress(ev)
+	}
+}
+
+// space resolves the campaign's selected locations against the target's
+// scan chain map.
+func (r *Runner) space() (*faultmodel.Space, *scanchain.Map, error) {
+	chainName := r.camp.ChainName
+	var m *scanchain.Map
+	var err error
+	if chainName == "" {
+		if len(r.tsd.Chains) != 1 {
+			return nil, nil, fmt.Errorf("core: campaign %q does not name a chain and target has %d",
+				r.camp.Name, len(r.tsd.Chains))
+		}
+		m = &r.tsd.Chains[0]
+	} else if m, err = r.tsd.Chain(chainName); err != nil {
+		return nil, nil, err
+	}
+	locs := m.Select(r.camp.Locations...)
+	if len(locs) == 0 {
+		return nil, nil, fmt.Errorf("core: campaign %q selects no locations in chain %q",
+			r.camp.Name, m.Chain)
+	}
+	// Injection never targets read-only cells; drop them from the space
+	// (they remain observable).
+	var writable []scanchain.Location
+	for _, l := range locs {
+		if !l.ReadOnly {
+			writable = append(writable, l)
+		}
+	}
+	sp, err := faultmodel.NewSpace(writable)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sp, m, nil
+}
+
+// expSeed derives a per-experiment seed so that any experiment can be
+// replayed in isolation (paper §2.3 re-runs).
+func expSeed(campaignSeed int64, seq int) int64 {
+	const mix = int64(-0x61C8_8646_80B5_83EB) // golden-ratio constant as int64
+	return campaignSeed ^ (int64(seq+2) * mix)
+}
+
+// newExperiment builds the experiment context for sequence number seq.
+func (r *Runner) newExperiment(seq int, fault *faultmodel.Fault, trig trigger.Spec) *Experiment {
+	name := campaign.ExperimentName(r.camp.Name, seq)
+	if seq < 0 {
+		name = campaign.ReferenceName(r.camp.Name)
+	}
+	ex := &Experiment{
+		Campaign: r.camp,
+		Seq:      seq,
+		Name:     name,
+		Fault:    fault,
+		Trigger:  trig,
+		RNG:      rand.New(rand.NewSource(expSeed(r.camp.Seed, seq))),
+	}
+	if r.camp.LogMode == campaign.LogDetail && r.store != nil {
+		parent := name
+		ex.DetailSink = func(step int, sv *campaign.StateVector) error {
+			return r.store.LogExperiment(&campaign.ExperimentRecord{
+				Name:     fmt.Sprintf("%s/step%06d", parent, step),
+				Parent:   parent,
+				Campaign: r.camp.Name,
+				Step:     step,
+				State:    *sv,
+			})
+		}
+	}
+	return ex
+}
+
+// runOne executes one experiment and logs it.
+func (r *Runner) runOne(ex *Experiment, parent string) error {
+	if err := r.alg.Run(r.target, ex); err != nil {
+		return fmt.Errorf("core: campaign %q %s: %w", r.camp.Name, ex.Name, err)
+	}
+	if r.store != nil {
+		rec, err := ex.Record()
+		if err != nil {
+			return err
+		}
+		rec.Parent = parent
+		if err := r.store.LogExperiment(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the campaign: reference run, then the experiment loop of
+// paper Fig 2. It returns a summary of raw outcomes.
+func (r *Runner) Run(ctx context.Context) (*Summary, error) {
+	// Wake a paused campaign when the context is cancelled, so Wait in
+	// checkpoint observes the cancellation.
+	cancelWatch := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer cancelWatch()
+
+	sp, _, err := r.space()
+	if err != nil {
+		return nil, err
+	}
+	planRNG := rand.New(rand.NewSource(r.camp.Seed))
+
+	sum := &Summary{
+		Campaign:    r.camp.Name,
+		ByStatus:    make(map[campaign.OutcomeStatus]int),
+		ByMechanism: make(map[string]int),
+	}
+
+	// makeReferenceRun (paper Fig 2): fault-free execution whose logged
+	// state anchors the analysis phase.
+	r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
+	ref := r.newExperiment(-1, nil, trigger.Spec{})
+	if err := r.runOne(ref, ""); err != nil {
+		return nil, err
+	}
+
+	// A bounded redraw budget keeps a pathological filter (rejecting
+	// everything) from spinning forever.
+	maxRedraws := 1000 * r.camp.NumExperiments
+
+	for i := 0; i < r.camp.NumExperiments; i++ {
+		// The plan stream must advance identically whether or not the
+		// experiment runs, so draw before the stop check.
+		var fault faultmodel.Fault
+		var trig trigger.Spec
+		for {
+			var err error
+			fault, err = sp.Sample(&r.camp.FaultModel, planRNG)
+			if err != nil {
+				return nil, err
+			}
+			trig = r.camp.Trigger
+			if r.camp.RandomWindow[1] > 0 {
+				span := r.camp.RandomWindow[1] - r.camp.RandomWindow[0]
+				trig.Cycle = r.camp.RandomWindow[0] + uint64(planRNG.Int63n(int64(span)))
+			}
+			if r.filter == nil || r.filter(fault, trig) {
+				break
+			}
+			sum.Skipped++
+			if sum.Skipped > maxRedraws {
+				return nil, fmt.Errorf("core: campaign %q: pre-injection filter rejected %d draws",
+					r.camp.Name, sum.Skipped)
+			}
+		}
+		if !r.checkpoint(ctx) {
+			r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "stopped", Done: i, Total: r.camp.NumExperiments})
+			return sum, ctx.Err()
+		}
+		ex := r.newExperiment(i, &fault, trig)
+		if err := r.runOne(ex, ""); err != nil {
+			return nil, err
+		}
+		sum.Experiments++
+		if ex.Injected {
+			sum.Injected++
+		}
+		st := ex.Result.Outcome.Status
+		sum.ByStatus[st]++
+		if st == campaign.OutcomeDetected {
+			sum.ByMechanism[ex.Result.Outcome.Mechanism]++
+		}
+		r.emit(ProgressEvent{
+			Campaign:   r.camp.Name,
+			Phase:      "experiment",
+			Done:       i + 1,
+			Total:      r.camp.NumExperiments,
+			Experiment: ex.Name,
+			Outcome:    st,
+		})
+	}
+	r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "done",
+		Done: sum.Experiments, Total: r.camp.NumExperiments})
+	return sum, nil
+}
+
+// Rerun repeats a logged experiment with the same fault and trigger,
+// logging the new run with parentExperiment set to the original (paper
+// §2.3: investigating an interesting experiment E1 by re-running it as E2
+// with the same campaign data, typically in detail mode). detail forces
+// detail-mode logging regardless of the campaign's log mode.
+func (r *Runner) Rerun(expName string, detail bool) (*Experiment, error) {
+	if r.store == nil {
+		return nil, fmt.Errorf("core: rerun needs a store")
+	}
+	orig, err := r.store.GetExperiment(expName)
+	if err != nil {
+		return nil, err
+	}
+	if orig.Campaign != r.camp.Name {
+		return nil, fmt.Errorf("core: experiment %q belongs to campaign %q, runner drives %q",
+			expName, orig.Campaign, r.camp.Name)
+	}
+	seq := orig.Data.Seq
+	fault := orig.Data.Fault
+	ex := r.newExperiment(seq, &fault, orig.Data.Trigger)
+	// Find a free rerun name.
+	base := expName + "/rerun"
+	name := ""
+	for n := 1; ; n++ {
+		candidate := fmt.Sprintf("%s%d", base, n)
+		if _, err := r.store.GetExperiment(candidate); err != nil {
+			name = candidate
+			break
+		}
+	}
+	ex.Name = name
+	if detail {
+		parent := name
+		ex.DetailSink = func(step int, sv *campaign.StateVector) error {
+			return r.store.LogExperiment(&campaign.ExperimentRecord{
+				Name:     fmt.Sprintf("%s/step%06d", parent, step),
+				Parent:   parent,
+				Campaign: r.camp.Name,
+				Step:     step,
+				State:    *sv,
+			})
+		}
+	}
+	if err := r.runOne(ex, expName); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}

@@ -1,0 +1,134 @@
+// Package core is GOOFI's middle layer (paper Fig 1): the fault injection
+// algorithms written against an abstract target system interface, the
+// Framework template used when porting the tool to a new target, and the
+// campaign runner with reference runs, progress reporting and database
+// logging.
+package core
+
+import "fmt"
+
+// NotImplementedError reports that a target system has not implemented an
+// abstract method required by the selected fault injection algorithm —
+// the Go rendering of the paper's "// Write your code here!" template
+// (Fig 3): a port only fills in the methods its technique needs, and gets
+// a precise error if an algorithm needs more.
+type NotImplementedError struct {
+	Target string
+	Method string
+}
+
+func (e *NotImplementedError) Error() string {
+	return fmt.Sprintf("core: target %q does not implement %s (required by the selected fault injection algorithm)",
+		e.Target, e.Method)
+}
+
+// TargetSystem is the full set of abstract methods from the paper's
+// FaultInjectionAlgorithms class (Fig 2). Fault injection algorithms are
+// sequences of these building blocks; a TargetSystemInterface for a new
+// target implements the subset its techniques use (embed Framework for
+// the rest).
+//
+// Methods communicate through the Experiment context: ReadScanChain fills
+// Experiment.ScanVector, InjectFault mutates it (or mutates target memory,
+// for SWIFI techniques), WriteScanChain applies it, WaitForTermination and
+// ReadMemory fill Experiment.Result.
+type TargetSystem interface {
+	// Name identifies the target system.
+	Name() string
+	// InitTestCard resets the test card and target hardware.
+	InitTestCard(ex *Experiment) error
+	// LoadWorkload prepares the workload image for the experiment.
+	LoadWorkload(ex *Experiment) error
+	// WriteMemory downloads the workload and initial input data into
+	// target memory.
+	WriteMemory(ex *Experiment) error
+	// RunWorkload arms breakpoints/triggers and starts execution.
+	RunWorkload(ex *Experiment) error
+	// WaitForBreakpoint blocks until the injection point is reached.
+	WaitForBreakpoint(ex *Experiment) error
+	// ReadScanChain captures the scan chain into ex.ScanVector.
+	ReadScanChain(ex *Experiment) error
+	// InjectFault applies the experiment's fault (to ex.ScanVector for
+	// scan-chain techniques, or directly to target state for others).
+	InjectFault(ex *Experiment) error
+	// WriteScanChain writes ex.ScanVector back to the target.
+	WriteScanChain(ex *Experiment) error
+	// WaitForTermination resumes execution until a termination
+	// condition (paper §3.2) and fills ex.Result.Outcome.
+	WaitForTermination(ex *Experiment) error
+	// ReadMemory reads back observed memory into ex.Result.Memory.
+	ReadMemory(ex *Experiment) error
+}
+
+// Framework is the template for new target systems (paper Fig 3): every
+// abstract method reports NotImplementedError until overridden. Embed it
+// in a TargetSystemInterface struct and implement only the methods the
+// chosen fault injection algorithms use.
+type Framework struct {
+	// TargetName is reported by Name and in error messages.
+	TargetName string
+}
+
+// Name returns the target name, or a placeholder when unset.
+func (f *Framework) Name() string {
+	if f.TargetName == "" {
+		return "unnamed-target"
+	}
+	return f.TargetName
+}
+
+func (f *Framework) notImplemented(method string) error {
+	return &NotImplementedError{Target: f.Name(), Method: method}
+}
+
+// InitTestCard reports NotImplementedError; override it in your target.
+func (f *Framework) InitTestCard(*Experiment) error { return f.notImplemented("InitTestCard") }
+
+// LoadWorkload reports NotImplementedError; override it in your target.
+func (f *Framework) LoadWorkload(*Experiment) error { return f.notImplemented("LoadWorkload") }
+
+// WriteMemory reports NotImplementedError; override it in your target.
+func (f *Framework) WriteMemory(*Experiment) error { return f.notImplemented("WriteMemory") }
+
+// RunWorkload reports NotImplementedError; override it in your target.
+func (f *Framework) RunWorkload(*Experiment) error { return f.notImplemented("RunWorkload") }
+
+// WaitForBreakpoint reports NotImplementedError; override it in your target.
+func (f *Framework) WaitForBreakpoint(*Experiment) error {
+	return f.notImplemented("WaitForBreakpoint")
+}
+
+// ReadScanChain reports NotImplementedError; override it in your target.
+func (f *Framework) ReadScanChain(*Experiment) error { return f.notImplemented("ReadScanChain") }
+
+// InjectFault applies the experiment's fault to ex.ScanVector. This
+// generic implementation serves scan-chain techniques; SWIFI targets
+// override it to mutate memory instead.
+func (f *Framework) InjectFault(ex *Experiment) error {
+	if ex.Fault == nil {
+		return nil
+	}
+	if ex.ScanVector == nil {
+		return fmt.Errorf("core: target %q: InjectFault before ReadScanChain", f.Name())
+	}
+	if err := ex.Fault.Validate(ex.ScanVector.Len()); err != nil {
+		return err
+	}
+	ex.Fault.Apply(ex.ScanVector, ex.RNG)
+	ex.Injected = true
+	return nil
+}
+
+// WriteScanChain reports NotImplementedError; override it in your target.
+func (f *Framework) WriteScanChain(*Experiment) error { return f.notImplemented("WriteScanChain") }
+
+// WaitForTermination reports NotImplementedError; override it in your target.
+func (f *Framework) WaitForTermination(*Experiment) error {
+	return f.notImplemented("WaitForTermination")
+}
+
+// ReadMemory reports NotImplementedError; override it in your target.
+func (f *Framework) ReadMemory(*Experiment) error { return f.notImplemented("ReadMemory") }
+
+// Interface compliance: the Framework itself is a (non-functional) target.
+var _ TargetSystem = (*Framework)(nil)

@@ -1,0 +1,141 @@
+package pinlevel
+
+import (
+	"context"
+	"testing"
+
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/faultmodel"
+	"goofi/internal/scifi"
+	"goofi/internal/sqldb"
+	"goofi/internal/thor"
+	"goofi/internal/trigger"
+	"goofi/internal/workload"
+)
+
+func pinCampaign(name string, n int, seed int64) *campaign.Campaign {
+	return &campaign.Campaign{
+		Name:           name,
+		TargetName:     "thor-pins",
+		ChainName:      "boundary",
+		Locations:      []string{"pin.data_in"},
+		FaultModel:     faultmodel.Spec{Kind: faultmodel.StuckAt1},
+		Trigger:        trigger.Spec{Kind: "cycle"},
+		RandomWindow:   [2]uint64{10, 1600},
+		NumExperiments: n,
+		Seed:           seed,
+		Termination:    campaign.Termination{TimeoutCycles: 100_000},
+		Workload:       workload.Sort(),
+		LogMode:        campaign.LogNormal,
+	}
+}
+
+func TestPinLevelCampaign(t *testing.T) {
+	camp := pinCampaign("pins", 25, 3)
+	st, err := campaign.NewStore(sqldb.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsd := TargetSystemData("thor-pins")
+	if err := st.PutTargetSystem(tsd); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutCampaign(camp); err != nil {
+		t.Fatal(err)
+	}
+	tgt := New(thor.DefaultConfig())
+	r, err := core.NewRunner(tgt, core.PinLevel, camp, tsd, core.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few draws may land past the workload's end and are correctly
+	// recorded as not injected; most must inject.
+	if sum.Experiments != 25 || sum.Injected < 20 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	total := 0
+	for _, n := range sum.ByStatus {
+		total += n
+	}
+	if total != 25 {
+		t.Errorf("status total = %d", total)
+	}
+	// Forcing data-in pins during a memory-heavy sort must corrupt at
+	// least some runs (detected or wrong results are both possible; we
+	// assert that not every run completed identically by checking at
+	// least one non-completed OR differing checksum).
+	recs, err := st.Experiments("pins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := st.GetExperiment(campaign.ReferenceName("pins"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected := 0
+	for _, rec := range recs {
+		if rec.IsReference() {
+			continue
+		}
+		if rec.Data.Outcome.Status != campaign.OutcomeCompleted {
+			affected++
+			continue
+		}
+		if string(rec.State.Memory["checksum"]) != string(ref.State.Memory["checksum"]) {
+			affected++
+		}
+	}
+	if affected == 0 {
+		t.Error("no pin-level fault affected the workload at all")
+	}
+}
+
+func TestTargetSystemDataWritablePins(t *testing.T) {
+	tsd := TargetSystemData("x")
+	m := tsd.Chains[0]
+	for _, l := range m.Locations {
+		writable := l.Name == "pin.data_in" || l.Name == "pin.addr"
+		if writable == l.ReadOnly {
+			t.Errorf("pin %s read-only = %v", l.Name, l.ReadOnly)
+		}
+	}
+}
+
+func TestNonForceablePinRejected(t *testing.T) {
+	tgt := New(thor.DefaultConfig())
+	camp := pinCampaign("bad", 1, 1)
+	m := scifi.BoundaryMap()
+	halt, err := m.Find("pin.halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &core.Experiment{
+		Campaign: camp, Seq: 0, Name: "bad/exp00000",
+		Fault:    &faultmodel.Fault{Kind: faultmodel.StuckAt1, Bits: []int{halt.Offset}},
+		Injected: true,
+	}
+	if err := tgt.InitTestCard(ex); err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.ReadScanChain(ex); err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.WriteScanChain(ex); err == nil {
+		t.Error("forcing a read-only pin accepted")
+	}
+}
+
+func TestImageSize(t *testing.T) {
+	n, err := ImageSize(workload.Sort().Source)
+	if err != nil || n == 0 {
+		t.Errorf("ImageSize = %d, %v", n, err)
+	}
+	if _, err := ImageSize("bogus instr"); err == nil {
+		t.Error("bad source accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package scanchain
+
+import (
+	"fmt"
+
+	"goofi/internal/bitvec"
+)
+
+// Controller drives a TAP through complete instruction and data register
+// scans. It is the host-side "test card" driver: the fault injection
+// algorithms call ReadChain / WriteChain, which become full TMS/TDI
+// sequences on the TAP.
+type Controller struct {
+	tap *TAP
+}
+
+// NewController returns a controller for the given device, with the TAP
+// reset and parked in Run-Test/Idle.
+func NewController(dev Device) *Controller {
+	c := &Controller{tap: NewTAP(dev)}
+	c.park()
+	return c
+}
+
+// TAP exposes the underlying TAP for inspection in tests.
+func (c *Controller) TAP() *TAP { return c.tap }
+
+// park drives the controller to Run-Test/Idle from any state.
+func (c *Controller) park() {
+	for i := 0; i < 5; i++ {
+		c.tap.Clock(true, false) // five TMS=1 edges reach Test-Logic-Reset
+	}
+	c.tap.Clock(false, false) // -> Run-Test/Idle
+}
+
+// LoadInstruction shifts an instruction into the IR and activates it.
+func (c *Controller) LoadInstruction(instr Instruction) {
+	if c.tap.State() != RunTestIdle {
+		c.park()
+	}
+	c.tap.Clock(true, false)  // -> Select-DR-Scan
+	c.tap.Clock(true, false)  // -> Select-IR-Scan
+	c.tap.Clock(false, false) // -> Capture-IR
+	c.tap.Clock(false, false) // -> Shift-IR (no shift on this edge)
+	for i := 0; i < irWidth; i++ {
+		tdi := uint8(instr)&(1<<uint(i)) != 0
+		last := i == irWidth-1
+		c.tap.Clock(last, tdi) // shift; last edge exits to Exit1-IR
+	}
+	c.tap.Clock(true, false)  // -> Update-IR
+	c.tap.Clock(false, false) // -> Run-Test/Idle
+}
+
+// ExchangeDR performs one full DR scan: it captures the data register,
+// shifts it out while shifting in the replacement, and updates the device
+// from the shifted-in value. It returns the captured (old) register
+// contents. This one primitive implements the paper's
+// readScanChain / injectFault / writeScanChain sequence: read with an
+// exchange of the same data, or write by exchanging modified data.
+func (c *Controller) ExchangeDR(in *bitvec.Vector) (*bitvec.Vector, error) {
+	n := c.tap.drLen()
+	if in.Len() != n {
+		return nil, fmt.Errorf("scanchain: DR scan of %d bits with %d-bit input (instruction %v)",
+			n, in.Len(), c.tap.ActiveInstruction())
+	}
+	if c.tap.State() != RunTestIdle {
+		c.park()
+	}
+	c.tap.Clock(true, false)  // -> Select-DR-Scan
+	c.tap.Clock(false, false) // -> Capture-DR
+	c.tap.Clock(false, false) // -> Shift-DR (no shift on this edge)
+	out := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		last := i == n-1
+		tdo := c.tap.Clock(last, in.Get(i))
+		out.Set(i, tdo)
+	}
+	c.tap.Clock(true, false)  // -> Update-DR
+	c.tap.Clock(false, false) // -> Run-Test/Idle
+	return out, nil
+}
+
+// ReadDR captures and reads the active data register without changing it:
+// it scans the register out and then scans the same value back in, so the
+// device state after Update-DR equals what was captured.
+func (c *Controller) ReadDR() (*bitvec.Vector, error) {
+	n := c.tap.drLen()
+	// First pass shifts zeros in to learn the contents...
+	out, err := c.ExchangeDR(bitvec.New(n))
+	if err != nil {
+		return nil, err
+	}
+	// ...then restores them. Real SCIFI tools do the same double scan
+	// when a read must not perturb state.
+	if _, err := c.ExchangeDR(out); err != nil {
+		return nil, err
+	}
+	return out.Clone(), nil
+}
+
+// WriteDR replaces the active data register contents.
+func (c *Controller) WriteDR(v *bitvec.Vector) error {
+	_, err := c.ExchangeDR(v)
+	return err
+}
+
+// ReadIDCode reads the device identification register.
+func (c *Controller) ReadIDCode() (uint32, error) {
+	c.LoadInstruction(InstrIDCode)
+	v, err := c.ExchangeDR(bitvec.New(32))
+	if err != nil {
+		return 0, err
+	}
+	return uint32(v.Uint64(0, 32)), nil
+}
+
+// ReadInternal reads the device's internal scan chain non-destructively.
+func (c *Controller) ReadInternal() (*bitvec.Vector, error) {
+	c.LoadInstruction(InstrScanReg)
+	return c.ReadDR()
+}
+
+// WriteInternal writes the device's internal scan chain.
+func (c *Controller) WriteInternal(v *bitvec.Vector) error {
+	c.LoadInstruction(InstrScanReg)
+	return c.WriteDR(v)
+}
+
+// SampleBoundary samples the pins without disturbing them.
+func (c *Controller) SampleBoundary() (*bitvec.Vector, error) {
+	c.LoadInstruction(InstrSample)
+	v, err := c.ExchangeDR(bitvec.New(c.tap.dev.BoundaryLen()))
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Extest drives the given vector onto the pins via EXTEST.
+func (c *Controller) Extest(v *bitvec.Vector) error {
+	c.LoadInstruction(InstrExtest)
+	return c.WriteDR(v)
+}

@@ -1,0 +1,301 @@
+// Package scanchain implements IEEE 1149.1-style test logic: a TAP
+// controller state machine, an instruction register, and boundary/internal
+// scan chains over a device. GOOFI's SCIFI technique injects faults by
+// shifting device state out through this logic, flipping bits, and shifting
+// it back (paper §1, §3.3).
+package scanchain
+
+import (
+	"fmt"
+
+	"goofi/internal/bitvec"
+)
+
+// TAPState is a state of the IEEE 1149.1 TAP controller.
+type TAPState int
+
+// The sixteen TAP controller states.
+const (
+	TestLogicReset TAPState = iota
+	RunTestIdle
+	SelectDRScan
+	CaptureDR
+	ShiftDR
+	Exit1DR
+	PauseDR
+	Exit2DR
+	UpdateDR
+	SelectIRScan
+	CaptureIR
+	ShiftIR
+	Exit1IR
+	PauseIR
+	Exit2IR
+	UpdateIR
+)
+
+var tapStateNames = map[TAPState]string{
+	TestLogicReset: "Test-Logic-Reset",
+	RunTestIdle:    "Run-Test/Idle",
+	SelectDRScan:   "Select-DR-Scan",
+	CaptureDR:      "Capture-DR",
+	ShiftDR:        "Shift-DR",
+	Exit1DR:        "Exit1-DR",
+	PauseDR:        "Pause-DR",
+	Exit2DR:        "Exit2-DR",
+	UpdateDR:       "Update-DR",
+	SelectIRScan:   "Select-IR-Scan",
+	CaptureIR:      "Capture-IR",
+	ShiftIR:        "Shift-IR",
+	Exit1IR:        "Exit1-IR",
+	PauseIR:        "Pause-IR",
+	Exit2IR:        "Exit2-IR",
+	UpdateIR:       "Update-IR",
+}
+
+// String returns the standard state name.
+func (s TAPState) String() string {
+	if n, ok := tapStateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("TAPState(%d)", int(s))
+}
+
+type transitionKey struct {
+	s   TAPState
+	tms bool
+}
+
+// tapTransitions is the IEEE 1149.1 state diagram.
+var tapTransitions = buildTransitions()
+
+func buildTransitions() map[transitionKey]TAPState {
+	type key = transitionKey
+	return map[key]TAPState{
+		{TestLogicReset, true}:  TestLogicReset,
+		{TestLogicReset, false}: RunTestIdle,
+		{RunTestIdle, true}:     SelectDRScan,
+		{RunTestIdle, false}:    RunTestIdle,
+		{SelectDRScan, true}:    SelectIRScan,
+		{SelectDRScan, false}:   CaptureDR,
+		{CaptureDR, true}:       Exit1DR,
+		{CaptureDR, false}:      ShiftDR,
+		{ShiftDR, true}:         Exit1DR,
+		{ShiftDR, false}:        ShiftDR,
+		{Exit1DR, true}:         UpdateDR,
+		{Exit1DR, false}:        PauseDR,
+		{PauseDR, true}:         Exit2DR,
+		{PauseDR, false}:        PauseDR,
+		{Exit2DR, true}:         UpdateDR,
+		{Exit2DR, false}:        ShiftDR,
+		{UpdateDR, true}:        SelectDRScan,
+		{UpdateDR, false}:       RunTestIdle,
+		{SelectIRScan, true}:    TestLogicReset,
+		{SelectIRScan, false}:   CaptureIR,
+		{CaptureIR, true}:       Exit1IR,
+		{CaptureIR, false}:      ShiftIR,
+		{ShiftIR, true}:         Exit1IR,
+		{ShiftIR, false}:        ShiftIR,
+		{Exit1IR, true}:         UpdateIR,
+		{Exit1IR, false}:        PauseIR,
+		{PauseIR, true}:         Exit2IR,
+		{PauseIR, false}:        PauseIR,
+		{Exit2IR, true}:         UpdateIR,
+		{Exit2IR, false}:        ShiftIR,
+		{UpdateIR, true}:        SelectDRScan,
+		{UpdateIR, false}:       RunTestIdle,
+	}
+}
+
+// next computes the TAP state transition for one TCK rising edge with the
+// given TMS value.
+func (s TAPState) next(tms bool) TAPState {
+	return tapTransitions[transitionKey{s, tms}]
+}
+
+// Instruction is a TAP instruction register code.
+type Instruction uint8
+
+// TAP instructions. The instruction register is irWidth bits wide.
+const (
+	// InstrExtest selects the boundary register and drives its update
+	// latches onto the pins (pin-level fault injection).
+	InstrExtest Instruction = 0x0
+	// InstrSample selects the boundary register for capture without
+	// driving pins (observation).
+	InstrSample Instruction = 0x1
+	// InstrScanReg selects the internal scan chain over the device's
+	// state elements (the SCIFI injection path).
+	InstrScanReg Instruction = 0x2
+	// InstrIDCode selects the 32-bit device identification register.
+	InstrIDCode Instruction = 0x3
+	// InstrBypass selects the single-bit bypass register. All-ones, as
+	// the standard requires.
+	InstrBypass Instruction = 0xF
+)
+
+const irWidth = 4
+
+// String returns the instruction mnemonic.
+func (i Instruction) String() string {
+	switch i {
+	case InstrExtest:
+		return "EXTEST"
+	case InstrSample:
+		return "SAMPLE"
+	case InstrScanReg:
+		return "SCANREG"
+	case InstrIDCode:
+		return "IDCODE"
+	case InstrBypass:
+		return "BYPASS"
+	default:
+		return fmt.Sprintf("IR(%#x)", uint8(i))
+	}
+}
+
+// Device is the circuit behind a TAP: it exposes a boundary register over
+// its pins and an internal scan chain over its state elements.
+type Device interface {
+	// BoundaryLen returns the boundary register length in bits.
+	BoundaryLen() int
+	// CaptureBoundary samples the pins into a bit vector.
+	CaptureBoundary() *bitvec.Vector
+	// UpdateBoundary drives boundary register contents onto the pins
+	// (EXTEST). Implementations decide which cells are drivable.
+	UpdateBoundary(v *bitvec.Vector) error
+	// InternalLen returns the internal scan chain length in bits.
+	InternalLen() int
+	// CaptureInternal captures the internal state elements.
+	CaptureInternal() *bitvec.Vector
+	// UpdateInternal applies a vector back to the state elements.
+	UpdateInternal(v *bitvec.Vector) error
+	// IDCode returns the 32-bit JTAG identification code.
+	IDCode() uint32
+}
+
+// TAP is an IEEE 1149.1 TAP controller bound to a device. Clock advances
+// it one TCK rising edge at a time; higher-level sequencing lives in
+// Controller. The zero value is unusable; use NewTAP.
+type TAP struct {
+	dev     Device
+	state   TAPState
+	ir      Instruction    // active instruction (updated in Update-IR)
+	irShift uint8          // IR shift register
+	dr      *bitvec.Vector // DR shift register for the active instruction
+	clocks  uint64
+}
+
+// NewTAP returns a TAP in Test-Logic-Reset with IDCODE selected, as the
+// standard requires after reset.
+func NewTAP(dev Device) *TAP {
+	t := &TAP{dev: dev}
+	t.Reset()
+	return t
+}
+
+// Reset forces the controller into Test-Logic-Reset (equivalent to five
+// TCK cycles with TMS high, or asserting TRST).
+func (t *TAP) Reset() {
+	t.state = TestLogicReset
+	t.ir = InstrIDCode
+	t.dr = nil
+}
+
+// State returns the current controller state.
+func (t *TAP) State() TAPState { return t.state }
+
+// ActiveInstruction returns the instruction currently in effect.
+func (t *TAP) ActiveInstruction() Instruction { return t.ir }
+
+// Clocks returns the number of TCK cycles applied since construction.
+func (t *TAP) Clocks() uint64 { return t.clocks }
+
+// drLen returns the data register length for the active instruction.
+func (t *TAP) drLen() int {
+	switch t.ir {
+	case InstrExtest, InstrSample:
+		return t.dev.BoundaryLen()
+	case InstrScanReg:
+		return t.dev.InternalLen()
+	case InstrIDCode:
+		return 32
+	default:
+		return 1 // BYPASS and unknown instructions
+	}
+}
+
+// Clock applies one TCK rising edge with the given TMS and TDI values and
+// returns TDO. TDO carries shift data only while in Shift-DR or Shift-IR,
+// matching hardware where TDO is otherwise tri-stated (reads as false).
+func (t *TAP) Clock(tms, tdi bool) (tdo bool) {
+	t.clocks++
+	// Shift happens while in a shift state at the clock edge.
+	switch t.state {
+	case ShiftDR:
+		if t.dr != nil {
+			tdo = t.dr.ShiftIn(tdi)
+		}
+	case ShiftIR:
+		tdo = t.irShift&1 != 0
+		t.irShift = t.irShift>>1 | boolShift(tdi, irWidth-1)
+	}
+	prev := t.state
+	t.state = prev.next(tms)
+	// Entry actions.
+	if t.state != prev {
+		switch t.state {
+		case CaptureDR:
+			t.captureDR()
+		case UpdateDR:
+			t.updateDR()
+		case CaptureIR:
+			// The standard captures 0b01 in the low bits; with a
+			// 4-bit IR we capture 0b0101 for fault visibility.
+			t.irShift = 0x5
+		case UpdateIR:
+			t.ir = Instruction(t.irShift & (1<<irWidth - 1))
+		case TestLogicReset:
+			t.ir = InstrIDCode
+		}
+	}
+	return tdo
+}
+
+func (t *TAP) captureDR() {
+	switch t.ir {
+	case InstrExtest, InstrSample:
+		t.dr = t.dev.CaptureBoundary()
+	case InstrScanReg:
+		t.dr = t.dev.CaptureInternal()
+	case InstrIDCode:
+		t.dr = bitvec.FromUint64(uint64(t.dev.IDCode()), 32)
+	default:
+		t.dr = bitvec.New(1)
+	}
+}
+
+func (t *TAP) updateDR() {
+	if t.dr == nil {
+		return
+	}
+	switch t.ir {
+	case InstrExtest:
+		// Errors surface through Controller, which validates lengths
+		// before driving; a failed update here means a device bug.
+		if err := t.dev.UpdateBoundary(t.dr); err != nil {
+			panic(fmt.Sprintf("scanchain: EXTEST update failed: %v", err))
+		}
+	case InstrScanReg:
+		if err := t.dev.UpdateInternal(t.dr); err != nil {
+			panic(fmt.Sprintf("scanchain: SCANREG update failed: %v", err))
+		}
+	}
+}
+
+func boolShift(b bool, pos int) uint8 {
+	if b {
+		return 1 << uint(pos)
+	}
+	return 0
+}

@@ -1,0 +1,149 @@
+package sqldb
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name    string
+	Type    Kind
+	NotNull bool
+	PK      bool
+	Unique  bool
+}
+
+// ForeignKeyDef is a FOREIGN KEY ... REFERENCES clause.
+type ForeignKeyDef struct {
+	Cols     []string
+	RefTable string
+	RefCols  []string
+}
+
+// CreateTable is CREATE TABLE.
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Cols        []ColumnDef
+	PrimaryKey  []string
+	Foreign     []ForeignKeyDef
+}
+
+// DropTable is DROP TABLE.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// Insert is INSERT INTO ... VALUES.
+type Insert struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// SelectExpr is one projected expression with an optional alias.
+type SelectExpr struct {
+	E     Expr
+	Alias string
+	Star  bool
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// Select is SELECT ... FROM.
+type Select struct {
+	Distinct bool
+	Exprs    []SelectExpr
+	Table    string
+	Where    Expr
+	GroupBy  []string
+	OrderBy  []OrderKey
+	Limit    Expr // nil when absent
+	Offset   Expr // nil when absent
+}
+
+// Assign is one SET column = expr.
+type Assign struct {
+	Col string
+	E   Expr
+}
+
+// Update is UPDATE ... SET ... WHERE.
+type Update struct {
+	Table string
+	Set   []Assign
+	Where Expr
+}
+
+// Delete is DELETE FROM ... WHERE.
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
+func (*Insert) stmt()      {}
+func (*Select) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}
+
+// Expr is a SQL expression node.
+type Expr interface{ expr() }
+
+// Lit is a literal value.
+type Lit struct{ V Value }
+
+// Param is a `?` placeholder, filled from the statement arguments in
+// order of appearance.
+type Param struct{ Idx int }
+
+// ColRef references a column by name.
+type ColRef struct{ Name string }
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operation (AND, OR, comparisons, arithmetic, LIKE).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Neg bool
+}
+
+// InList is x [NOT] IN (e1, e2, ...).
+type InList struct {
+	X    Expr
+	List []Expr
+	Neg  bool
+}
+
+// Call is an aggregate function call: COUNT(*), COUNT(x), SUM, AVG, MIN,
+// MAX, optionally DISTINCT.
+type Call struct {
+	Fn       string
+	Arg      Expr
+	Star     bool
+	Distinct bool
+}
+
+func (*Lit) expr()    {}
+func (*Param) expr()  {}
+func (*ColRef) expr() {}
+func (*Unary) expr()  {}
+func (*Binary) expr() {}
+func (*IsNull) expr() {}
+func (*InList) expr() {}
+func (*Call) expr()   {}

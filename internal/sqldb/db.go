@@ -1,0 +1,798 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is an in-memory relational database with optional file persistence.
+// It is safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	order  []string // creation order, for stable persistence and listing
+}
+
+// Open returns an empty database.
+func Open() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Result is the outcome of a SELECT.
+type Result struct {
+	Cols []string
+	Rows [][]Value
+}
+
+// ColIndex returns the index of a result column by name.
+func (r *Result) ColIndex(name string) (int, error) {
+	for i, c := range r.Cols {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sqldb: result has no column %q", name)
+}
+
+// TableNames lists the tables in creation order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// Schema returns a copy of a table's schema.
+func (db *DB) Schema(name string) (cols []Column, pk []string, fks []ForeignKey, err error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("sqldb: no table %q", name)
+	}
+	cols = append(cols, t.Cols...)
+	pk = append(pk, t.PKCols...)
+	fks = append(fks, t.FKs...)
+	return cols, pk, fks, nil
+}
+
+// Exec runs a statement that does not return rows. It returns the number
+// of rows affected (0 for DDL).
+func (db *DB) Exec(sql string, args ...Value) (int64, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch st := st.(type) {
+	case *CreateTable:
+		return 0, db.createTable(st)
+	case *DropTable:
+		return 0, db.dropTable(st)
+	case *Insert:
+		return db.insert(st, args)
+	case *Update:
+		return db.update(st, args)
+	case *Delete:
+		return db.delete(st, args)
+	case *Select:
+		return 0, fmt.Errorf("sqldb: use Query for SELECT")
+	default:
+		return 0, fmt.Errorf("sqldb: unsupported statement %T", st)
+	}
+}
+
+// Query runs a SELECT and returns its result rows.
+func (db *DB) Query(sql string, args ...Value) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.selectRows(sel, args)
+}
+
+// MustExec is Exec that panics on error; for tests and fixed DDL whose
+// correctness is covered by tests.
+func (db *DB) MustExec(sql string, args ...Value) {
+	if _, err := db.Exec(sql, args...); err != nil {
+		panic(err)
+	}
+}
+
+func (db *DB) createTable(ct *CreateTable) error {
+	if _, exists := db.tables[ct.Name]; exists {
+		if ct.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("sqldb: table %q already exists", ct.Name)
+	}
+	if len(ct.Cols) == 0 {
+		return fmt.Errorf("sqldb: table %q has no columns", ct.Name)
+	}
+	t := &Table{Name: ct.Name}
+	seen := make(map[string]bool)
+	var pk []string
+	for _, cd := range ct.Cols {
+		if seen[cd.Name] {
+			return fmt.Errorf("sqldb: duplicate column %q in table %q", cd.Name, ct.Name)
+		}
+		seen[cd.Name] = true
+		t.Cols = append(t.Cols, Column{Name: cd.Name, Type: cd.Type, NotNull: cd.NotNull, Unique: cd.Unique})
+		if cd.PK {
+			pk = append(pk, cd.Name)
+		}
+	}
+	if len(ct.PrimaryKey) > 0 {
+		if len(pk) > 0 {
+			return fmt.Errorf("sqldb: table %q has both column-level and table-level PRIMARY KEY", ct.Name)
+		}
+		pk = ct.PrimaryKey
+	}
+	t.PKCols = pk
+	if _, err := t.colIndexes(pk); err != nil {
+		return err
+	}
+	// PK columns are implicitly NOT NULL.
+	for _, pc := range pk {
+		ci, _ := t.colIndex(pc)
+		t.Cols[ci].NotNull = true
+	}
+	for _, fk := range ct.Foreign {
+		if len(fk.Cols) != len(fk.RefCols) {
+			return fmt.Errorf("sqldb: foreign key arity mismatch in table %q", ct.Name)
+		}
+		if _, err := t.colIndexes(fk.Cols); err != nil {
+			return err
+		}
+		ref, ok := db.tables[fk.RefTable]
+		if !ok {
+			return fmt.Errorf("sqldb: foreign key references unknown table %q", fk.RefTable)
+		}
+		if _, err := ref.colIndexes(fk.RefCols); err != nil {
+			return err
+		}
+		t.FKs = append(t.FKs, ForeignKey{Cols: fk.Cols, RefTable: fk.RefTable, RefCols: fk.RefCols})
+	}
+	if err := t.rebuildIndex(); err != nil {
+		return err
+	}
+	db.tables[ct.Name] = t
+	db.order = append(db.order, ct.Name)
+	return nil
+}
+
+func (db *DB) dropTable(dt *DropTable) error {
+	if _, ok := db.tables[dt.Name]; !ok {
+		if dt.IfExists {
+			return nil
+		}
+		return fmt.Errorf("sqldb: no table %q", dt.Name)
+	}
+	for name, other := range db.tables {
+		if name == dt.Name {
+			continue
+		}
+		for _, fk := range other.FKs {
+			if fk.RefTable == dt.Name {
+				return fmt.Errorf("sqldb: cannot drop %q: referenced by %q", dt.Name, name)
+			}
+		}
+	}
+	delete(db.tables, dt.Name)
+	for i, n := range db.order {
+		if n == dt.Name {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// fkCheck verifies that a row's foreign key tuples exist in the referenced
+// tables. NULL components skip the check (SQL MATCH SIMPLE).
+func (db *DB) fkCheck(t *Table, row []Value) error {
+	for _, fk := range t.FKs {
+		idx, err := t.colIndexes(fk.Cols)
+		if err != nil {
+			return err
+		}
+		vals := make([]Value, len(idx))
+		hasNull := false
+		for i, ci := range idx {
+			vals[i] = row[ci]
+			if vals[i].IsNull() {
+				hasNull = true
+			}
+		}
+		if hasNull {
+			continue
+		}
+		ref := db.tables[fk.RefTable]
+		if ref == nil {
+			return fmt.Errorf("sqldb: foreign key references missing table %q", fk.RefTable)
+		}
+		if equalStrings(fk.RefCols, ref.PKCols) {
+			if !ref.hasPKRow(vals) {
+				return fmt.Errorf("sqldb: foreign key violation: %s%v not in %s(%v)",
+					t.Name, fk.Cols, fk.RefTable, fk.RefCols)
+			}
+			continue
+		}
+		set, err := ref.tupleSet(fk.RefCols)
+		if err != nil {
+			return err
+		}
+		if !set[keyString(vals)] {
+			return fmt.Errorf("sqldb: foreign key violation: %s%v not in %s(%v)",
+				t.Name, fk.Cols, fk.RefTable, fk.RefCols)
+		}
+	}
+	return nil
+}
+
+// referencers returns an error if any row in another table references the
+// given tuple of t's columns.
+func (db *DB) referencers(t *Table, row []Value) error {
+	for _, other := range db.tables {
+		for _, fk := range other.FKs {
+			if fk.RefTable != t.Name {
+				continue
+			}
+			refIdx, err := t.colIndexes(fk.RefCols)
+			if err != nil {
+				return err
+			}
+			refVals := make([]Value, len(refIdx))
+			for i, ci := range refIdx {
+				refVals[i] = row[ci]
+			}
+			key := keyString(refVals)
+			colIdx, err := other.colIndexes(fk.Cols)
+			if err != nil {
+				return err
+			}
+			for _, orow := range other.Rows {
+				vals := make([]Value, len(colIdx))
+				skip := false
+				for i, ci := range colIdx {
+					vals[i] = orow[ci]
+					if vals[i].IsNull() {
+						skip = true
+					}
+				}
+				if !skip && keyString(vals) == key {
+					return fmt.Errorf("sqldb: row in %s is referenced by %s", t.Name, other.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// uniqueCheck verifies UNIQUE columns and PK uniqueness for a candidate
+// row, ignoring the row at skipIdx (for updates).
+func (db *DB) uniqueCheck(t *Table, row []Value, skipIdx int) error {
+	if len(t.PKCols) > 0 {
+		key := t.pkKey(row)
+		if i, dup := t.pkIndex[key]; dup && i != skipIdx {
+			return fmt.Errorf("sqldb: duplicate primary key in table %s", t.Name)
+		}
+		// PK components must not be NULL.
+		idx, _ := t.colIndexes(t.PKCols)
+		for _, ci := range idx {
+			if row[ci].IsNull() {
+				return fmt.Errorf("sqldb: NULL in primary key of table %s", t.Name)
+			}
+		}
+	}
+	for ci, col := range t.Cols {
+		if !col.Unique || row[ci].IsNull() {
+			continue
+		}
+		for ri, other := range t.Rows {
+			if ri == skipIdx {
+				continue
+			}
+			if Equal(other[ci], row[ci]) {
+				return fmt.Errorf("sqldb: duplicate value in unique column %s.%s", t.Name, col.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) insert(ins *Insert, args []Value) (int64, error) {
+	t, ok := db.tables[ins.Table]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: no table %q", ins.Table)
+	}
+	colIdx := make([]int, 0, len(ins.Cols))
+	if len(ins.Cols) > 0 {
+		var err error
+		colIdx, err = t.colIndexes(ins.Cols)
+		if err != nil {
+			return 0, err
+		}
+	}
+	ctx := &evalCtx{args: args}
+	var inserted int64
+	for _, exprRow := range ins.Rows {
+		row := make([]Value, len(t.Cols))
+		if len(ins.Cols) == 0 {
+			if len(exprRow) != len(t.Cols) {
+				return inserted, fmt.Errorf("sqldb: table %s has %d columns, got %d values",
+					t.Name, len(t.Cols), len(exprRow))
+			}
+			for i, e := range exprRow {
+				v, err := eval(e, ctx)
+				if err != nil {
+					return inserted, err
+				}
+				row[i] = v
+			}
+		} else {
+			if len(exprRow) != len(ins.Cols) {
+				return inserted, fmt.Errorf("sqldb: %d columns named, %d values given",
+					len(ins.Cols), len(exprRow))
+			}
+			for i, e := range exprRow {
+				v, err := eval(e, ctx)
+				if err != nil {
+					return inserted, err
+				}
+				row[colIdx[i]] = v
+			}
+		}
+		row, err := t.checkRow(row)
+		if err != nil {
+			return inserted, err
+		}
+		if err := db.uniqueCheck(t, row, -1); err != nil {
+			return inserted, err
+		}
+		if err := db.fkCheck(t, row); err != nil {
+			return inserted, err
+		}
+		t.Rows = append(t.Rows, row)
+		if len(t.PKCols) > 0 {
+			t.pkIndex[t.pkKey(row)] = len(t.Rows) - 1
+		}
+		inserted++
+	}
+	return inserted, nil
+}
+
+// matchRows returns the indexes of rows satisfying the WHERE clause.
+func (db *DB) matchRows(t *Table, where Expr, args []Value) ([]int, error) {
+	var out []int
+	ctx := &evalCtx{table: t, args: args}
+	for i, row := range t.Rows {
+		if where == nil {
+			out = append(out, i)
+			continue
+		}
+		ctx.row = row
+		v, err := eval(where, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truth() {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+func (db *DB) update(up *Update, args []Value) (int64, error) {
+	t, ok := db.tables[up.Table]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: no table %q", up.Table)
+	}
+	setIdx := make([]int, len(up.Set))
+	for i, a := range up.Set {
+		ci, err := t.colIndex(a.Col)
+		if err != nil {
+			return 0, err
+		}
+		setIdx[i] = ci
+	}
+	matched, err := db.matchRows(t, up.Where, args)
+	if err != nil {
+		return 0, err
+	}
+	ctx := &evalCtx{table: t, args: args}
+	var updated int64
+	for _, ri := range matched {
+		old := t.Rows[ri]
+		next := make([]Value, len(old))
+		copy(next, old)
+		ctx.row = old
+		for i, a := range up.Set {
+			v, err := eval(a.E, ctx)
+			if err != nil {
+				return updated, err
+			}
+			next[setIdx[i]] = v
+		}
+		next, err := t.checkRow(next)
+		if err != nil {
+			return updated, err
+		}
+		if err := db.uniqueCheck(t, next, ri); err != nil {
+			return updated, err
+		}
+		if err := db.fkCheck(t, next); err != nil {
+			return updated, err
+		}
+		// If the PK tuple changes, no other table may reference the old
+		// tuple (RESTRICT).
+		oldKey, newKey := t.pkKey(old), t.pkKey(next)
+		if len(t.PKCols) > 0 && oldKey != newKey {
+			if err := db.referencers(t, old); err != nil {
+				return updated, err
+			}
+		}
+		t.Rows[ri] = next
+		// Maintain the PK index per row so uniqueness checks within this
+		// statement (and any query after an early error return) see a
+		// consistent index.
+		if len(t.PKCols) > 0 && oldKey != newKey {
+			delete(t.pkIndex, oldKey)
+			t.pkIndex[newKey] = ri
+		}
+		updated++
+	}
+	return updated, nil
+}
+
+func (db *DB) delete(del *Delete, args []Value) (int64, error) {
+	t, ok := db.tables[del.Table]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: no table %q", del.Table)
+	}
+	matched, err := db.matchRows(t, del.Where, args)
+	if err != nil {
+		return 0, err
+	}
+	for _, ri := range matched {
+		if err := db.referencers(t, t.Rows[ri]); err != nil {
+			return 0, err
+		}
+	}
+	drop := make(map[int]bool, len(matched))
+	for _, ri := range matched {
+		drop[ri] = true
+	}
+	var kept [][]Value
+	for i, row := range t.Rows {
+		if !drop[i] {
+			kept = append(kept, row)
+		}
+	}
+	t.Rows = kept
+	if err := t.rebuildIndex(); err != nil {
+		return 0, err
+	}
+	return int64(len(matched)), nil
+}
+
+func (db *DB) selectRows(sel *Select, args []Value) (*Result, error) {
+	t, ok := db.tables[sel.Table]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: no table %q", sel.Table)
+	}
+	matched, err := db.matchRows(t, sel.Where, args)
+	if err != nil {
+		return nil, err
+	}
+
+	aggregate := len(sel.GroupBy) > 0
+	for _, se := range sel.Exprs {
+		if !se.Star && hasAggregate(se.E) {
+			aggregate = true
+		}
+	}
+
+	var res *Result
+	hidden := 0
+	if aggregate {
+		res, err = db.selectAggregate(sel, t, matched, args)
+	} else {
+		res, hidden, err = db.selectPlain(sel, t, matched, args)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if len(sel.OrderBy) > 0 {
+		if err := orderResult(res, sel.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if hidden > 0 {
+		res.Cols = res.Cols[:len(res.Cols)-hidden]
+		for i, row := range res.Rows {
+			res.Rows[i] = row[:len(row)-hidden]
+		}
+	}
+	if sel.Distinct {
+		res.Rows = distinctRows(res.Rows)
+	}
+	if err := applyLimit(res, sel, args); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// selectPlain projects matched rows. ORDER BY may reference table columns
+// that are not in the select list; those are appended as hidden trailing
+// columns (stripped after sorting) — hidden reports how many.
+func (db *DB) selectPlain(sel *Select, t *Table, matched []int, args []Value) (res *Result, hidden int, err error) {
+	res = &Result{}
+	// Column headers.
+	for _, se := range sel.Exprs {
+		if se.Star {
+			for _, c := range t.Cols {
+				res.Cols = append(res.Cols, c.Name)
+			}
+			continue
+		}
+		name := se.Alias
+		if name == "" {
+			name = exprName(se.E)
+		}
+		res.Cols = append(res.Cols, name)
+	}
+	// Hidden ORDER BY support columns.
+	var hiddenIdx []int
+	for _, k := range sel.OrderBy {
+		if _, err := res.ColIndex(k.Col); err == nil {
+			continue
+		}
+		ci, err := t.colIndex(k.Col)
+		if err != nil {
+			return nil, 0, fmt.Errorf("sqldb: ORDER BY %s: %w", k.Col, err)
+		}
+		res.Cols = append(res.Cols, k.Col)
+		hiddenIdx = append(hiddenIdx, ci)
+	}
+	hidden = len(hiddenIdx)
+	ctx := &evalCtx{table: t, args: args}
+	for _, ri := range matched {
+		ctx.row = t.Rows[ri]
+		var out []Value
+		for _, se := range sel.Exprs {
+			if se.Star {
+				out = append(out, t.Rows[ri]...)
+				continue
+			}
+			v, err := eval(se.E, ctx)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, v)
+		}
+		for _, ci := range hiddenIdx {
+			out = append(out, t.Rows[ri][ci])
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, hidden, nil
+}
+
+func (db *DB) selectAggregate(sel *Select, t *Table, matched []int, args []Value) (*Result, error) {
+	for _, se := range sel.Exprs {
+		if se.Star {
+			return nil, fmt.Errorf("sqldb: * cannot be mixed with aggregates")
+		}
+	}
+	groupIdx, err := t.colIndexes(sel.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	// Partition matched rows into groups (single group when no GROUP BY).
+	type group struct {
+		key  string
+		rows []int
+	}
+	var groups []*group
+	byKey := make(map[string]*group)
+	for _, ri := range matched {
+		key := ""
+		if len(groupIdx) > 0 {
+			vals := make([]Value, len(groupIdx))
+			for i, ci := range groupIdx {
+				vals[i] = t.Rows[ri][ci]
+			}
+			key = keyString(vals)
+		}
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{key: key}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.rows = append(g.rows, ri)
+	}
+	if len(groupIdx) == 0 && len(groups) == 0 {
+		groups = append(groups, &group{}) // aggregates over empty input yield one row
+	}
+
+	res := &Result{}
+	for _, se := range sel.Exprs {
+		name := se.Alias
+		if name == "" {
+			name = exprName(se.E)
+		}
+		res.Cols = append(res.Cols, name)
+	}
+
+	ctx := &evalCtx{table: t, args: args}
+	for _, g := range groups {
+		var out []Value
+		for _, se := range sel.Exprs {
+			v, err := evalAggExpr(se.E, t, g.rows, ctx)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// evalAggExpr evaluates an expression over a row group: aggregate calls
+// accumulate over the group; everything else evaluates against the first
+// row (valid for GROUP BY columns, which are constant within a group).
+func evalAggExpr(e Expr, t *Table, rows []int, ctx *evalCtx) (Value, error) {
+	if call, ok := e.(*Call); ok {
+		st := newAggState(call.Fn, call.Distinct)
+		for _, ri := range rows {
+			if call.Star {
+				st.addStar()
+				continue
+			}
+			ctx.row = t.Rows[ri]
+			v, err := eval(call.Arg, ctx)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := st.add(v); err != nil {
+				return Value{}, err
+			}
+		}
+		return st.result(), nil
+	}
+	if b, ok := e.(*Binary); ok && hasAggregate(e) {
+		l, err := evalAggExpr(b.L, t, rows, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := evalAggExpr(b.R, t, rows, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		switch b.Op {
+		case "+", "-", "*", "/", "%":
+			return arith(b.Op, l, r)
+		default:
+			return Value{}, fmt.Errorf("sqldb: operator %q over aggregates is not supported", b.Op)
+		}
+	}
+	if len(rows) == 0 {
+		return Null(), nil
+	}
+	ctx.row = t.Rows[rows[0]]
+	return eval(e, ctx)
+}
+
+func orderResult(res *Result, keys []OrderKey) error {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		ci, err := res.ColIndex(k.Col)
+		if err != nil {
+			return fmt.Errorf("sqldb: ORDER BY %s: column must appear in the select list", k.Col)
+		}
+		idx[i] = ci
+	}
+	var sortErr error
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for i, ci := range idx {
+			va, vb := res.Rows[a][ci], res.Rows[b][ci]
+			// NULLs sort first.
+			switch {
+			case va.IsNull() && vb.IsNull():
+				continue
+			case va.IsNull():
+				return !keys[i].Desc
+			case vb.IsNull():
+				return keys[i].Desc
+			}
+			c, err := Compare(va, vb)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if keys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return sortErr
+}
+
+func distinctRows(rows [][]Value) [][]Value {
+	seen := make(map[string]bool, len(rows))
+	var out [][]Value
+	for _, r := range rows {
+		k := keyString(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func applyLimit(res *Result, sel *Select, args []Value) error {
+	evalInt := func(e Expr) (int64, error) {
+		v, err := eval(e, &evalCtx{args: args})
+		if err != nil {
+			return 0, err
+		}
+		return v.AsInt()
+	}
+	offset := int64(0)
+	if sel.Offset != nil {
+		var err error
+		offset, err = evalInt(sel.Offset)
+		if err != nil {
+			return err
+		}
+		if offset < 0 {
+			offset = 0
+		}
+	}
+	if offset > int64(len(res.Rows)) {
+		offset = int64(len(res.Rows))
+	}
+	res.Rows = res.Rows[offset:]
+	if sel.Limit != nil {
+		limit, err := evalInt(sel.Limit)
+		if err != nil {
+			return err
+		}
+		if limit >= 0 && limit < int64(len(res.Rows)) {
+			res.Rows = res.Rows[:limit]
+		}
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,583 @@
+package sqldb
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	mustExec(t, db, `CREATE TABLE targets (
+		name TEXT PRIMARY KEY,
+		chip TEXT NOT NULL,
+		bits INTEGER
+	)`)
+	mustExec(t, db, `CREATE TABLE campaigns (
+		id INTEGER PRIMARY KEY,
+		name TEXT NOT NULL,
+		target TEXT,
+		faults INTEGER,
+		rate REAL,
+		FOREIGN KEY (target) REFERENCES targets (name)
+	)`)
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, sql string, args ...Value) int64 {
+	t.Helper()
+	n, err := db.Exec(sql, args...)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return n
+}
+
+func mustQuery(t *testing.T, db *DB, sql string, args ...Value) *Result {
+	t.Helper()
+	r, err := db.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return r
+}
+
+func seed(t *testing.T, db *DB) {
+	t.Helper()
+	mustExec(t, db, `INSERT INTO targets VALUES ('thor-rd', 'THOR-S', 5412)`)
+	mustExec(t, db, `INSERT INTO targets VALUES ('board2', 'THOR-S', 5412)`)
+	mustExec(t, db, `INSERT INTO campaigns VALUES
+		(1, 'pid-scifi', 'thor-rd', 1000, 0.42),
+		(2, 'sort-swifi', 'thor-rd', 500, 0.35),
+		(3, 'idle', 'board2', 0, 0.0)`)
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	r := mustQuery(t, db, `SELECT name, faults FROM campaigns WHERE faults > 100 ORDER BY faults DESC`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	if r.Rows[0][0].S != "pid-scifi" || r.Rows[0][1].I != 1000 {
+		t.Errorf("row 0 = %v", r.Rows[0])
+	}
+	if r.Rows[1][0].S != "sort-swifi" {
+		t.Errorf("row 1 = %v", r.Rows[1])
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	r := mustQuery(t, db, `SELECT * FROM targets ORDER BY name`)
+	if len(r.Cols) != 3 || r.Cols[0] != "name" {
+		t.Errorf("cols = %v", r.Cols)
+	}
+	if len(r.Rows) != 2 || r.Rows[0][0].S != "board2" {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
+func TestParams(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	r := mustQuery(t, db, `SELECT id FROM campaigns WHERE target = ? AND faults >= ?`,
+		Text("thor-rd"), Int(500))
+	if len(r.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(r.Rows))
+	}
+	if _, err := db.Query(`SELECT id FROM campaigns WHERE target = ?`); err == nil {
+		t.Error("missing parameter did not error")
+	}
+}
+
+func TestPrimaryKeyUniqueness(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	if _, err := db.Exec(`INSERT INTO targets VALUES ('thor-rd', 'dup', 1)`); err == nil {
+		t.Error("duplicate PK accepted")
+	}
+	if _, err := db.Exec(`INSERT INTO campaigns VALUES (1, 'dup', NULL, 0, 0.0)`); err == nil {
+		t.Error("duplicate integer PK accepted")
+	}
+}
+
+func TestNotNull(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec(`INSERT INTO targets VALUES ('x', NULL, 1)`); err == nil {
+		t.Error("NULL in NOT NULL column accepted")
+	}
+}
+
+func TestForeignKeyEnforcement(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	// Insert referencing a missing target.
+	if _, err := db.Exec(`INSERT INTO campaigns VALUES (9, 'bad', 'ghost', 1, 0.1)`); err == nil {
+		t.Error("FK violation on insert accepted")
+	}
+	// NULL FK is allowed (MATCH SIMPLE).
+	mustExec(t, db, `INSERT INTO campaigns VALUES (10, 'detached', NULL, 1, 0.1)`)
+	// Deleting a referenced parent is rejected.
+	if _, err := db.Exec(`DELETE FROM targets WHERE name = 'thor-rd'`); err == nil {
+		t.Error("delete of referenced row accepted")
+	}
+	// Deleting an unreferenced parent works once children are gone.
+	mustExec(t, db, `DELETE FROM campaigns WHERE target = 'board2'`)
+	if n := mustExec(t, db, `DELETE FROM targets WHERE name = 'board2'`); n != 1 {
+		t.Errorf("deleted %d rows, want 1", n)
+	}
+	// Updating a child to reference a missing parent is rejected.
+	if _, err := db.Exec(`UPDATE campaigns SET target = 'ghost' WHERE id = 1`); err == nil {
+		t.Error("FK violation on update accepted")
+	}
+	// Changing a referenced PK is rejected.
+	if _, err := db.Exec(`UPDATE targets SET name = 'renamed' WHERE name = 'thor-rd'`); err == nil {
+		t.Error("PK change of referenced row accepted")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec(`DROP TABLE targets`); err == nil {
+		t.Error("drop of FK-referenced table accepted")
+	}
+	mustExec(t, db, `DROP TABLE campaigns`)
+	mustExec(t, db, `DROP TABLE targets`)
+	if _, err := db.Exec(`DROP TABLE targets`); err == nil {
+		t.Error("double drop accepted")
+	}
+	mustExec(t, db, `DROP TABLE IF EXISTS targets`)
+	if got := db.TableNames(); len(got) != 0 {
+		t.Errorf("tables = %v, want none", got)
+	}
+}
+
+func TestCreateIfNotExists(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE IF NOT EXISTS targets (name TEXT PRIMARY KEY, chip TEXT, bits INTEGER)`)
+	if _, err := db.Exec(`CREATE TABLE targets (x INTEGER)`); err == nil {
+		t.Error("duplicate CREATE TABLE accepted")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	n := mustExec(t, db, `UPDATE campaigns SET faults = faults + 10, rate = 0.5 WHERE target = 'thor-rd'`)
+	if n != 2 {
+		t.Fatalf("updated %d rows, want 2", n)
+	}
+	r := mustQuery(t, db, `SELECT faults FROM campaigns WHERE id = 1`)
+	if r.Rows[0][0].I != 1010 {
+		t.Errorf("faults = %d, want 1010", r.Rows[0][0].I)
+	}
+}
+
+func TestUpdatePrimaryKeyMaintainsIndex(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)`)
+	// Shift one PK; the old key must become free, the new one taken.
+	mustExec(t, db, `UPDATE t SET id = 9 WHERE id = 1`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 99)`) // old key reusable
+	if _, err := db.Exec(`INSERT INTO t VALUES (9, 0)`); err == nil {
+		t.Error("new key not indexed")
+	}
+	// A multi-row update that would transiently collide is rejected and
+	// must leave the index usable afterwards.
+	if _, err := db.Exec(`UPDATE t SET id = 2 WHERE v >= 10`); err == nil {
+		t.Error("colliding multi-row PK update accepted")
+	}
+	r := mustQuery(t, db, `SELECT COUNT(*) FROM t WHERE id = 9`)
+	if r.Rows[0][0].I != 1 {
+		t.Errorf("index inconsistent after failed update: %v", r.Rows)
+	}
+	// The table still accepts consistent operations.
+	mustExec(t, db, `UPDATE t SET id = 100 WHERE id = 9`)
+	if _, err := db.Exec(`INSERT INTO t VALUES (100, 0)`); err == nil {
+		t.Error("stale index after successful update")
+	}
+}
+
+func TestDeleteWithWhere(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	n := mustExec(t, db, `DELETE FROM campaigns WHERE faults = 0`)
+	if n != 1 {
+		t.Fatalf("deleted %d, want 1", n)
+	}
+	r := mustQuery(t, db, `SELECT COUNT(*) FROM campaigns`)
+	if r.Rows[0][0].I != 2 {
+		t.Errorf("remaining = %d, want 2", r.Rows[0][0].I)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	r := mustQuery(t, db, `SELECT COUNT(*), SUM(faults), MIN(faults), MAX(faults), AVG(rate) FROM campaigns`)
+	row := r.Rows[0]
+	if row[0].I != 3 || row[1].I != 1500 || row[2].I != 0 || row[3].I != 1000 {
+		t.Errorf("aggregates = %v", row)
+	}
+	avg := row[4].R
+	if avg < 0.25 || avg > 0.26 {
+		t.Errorf("avg rate = %g, want ~0.2567", avg)
+	}
+}
+
+func TestAggregatesEmptyInput(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, `SELECT COUNT(*), SUM(faults), MIN(faults) FROM campaigns`)
+	row := r.Rows[0]
+	if row[0].I != 0 {
+		t.Errorf("count = %v", row[0])
+	}
+	if !row[1].IsNull() || !row[2].IsNull() {
+		t.Errorf("sum/min over empty input = %v, %v, want NULLs", row[1], row[2])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	r := mustQuery(t, db, `SELECT target, COUNT(*) AS n, SUM(faults) AS total
+		FROM campaigns GROUP BY target ORDER BY n DESC`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("groups = %d, want 2", len(r.Rows))
+	}
+	if r.Rows[0][0].S != "thor-rd" || r.Rows[0][1].I != 2 || r.Rows[0][2].I != 1500 {
+		t.Errorf("group 0 = %v", r.Rows[0])
+	}
+	if r.Rows[1][0].S != "board2" || r.Rows[1][1].I != 1 {
+		t.Errorf("group 1 = %v", r.Rows[1])
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	r := mustQuery(t, db, `SELECT COUNT(DISTINCT target) FROM campaigns`)
+	if r.Rows[0][0].I != 2 {
+		t.Errorf("distinct targets = %d, want 2", r.Rows[0][0].I)
+	}
+}
+
+func TestDistinctRows(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	r := mustQuery(t, db, `SELECT DISTINCT target FROM campaigns`)
+	if len(r.Rows) != 2 {
+		t.Errorf("distinct rows = %d, want 2", len(r.Rows))
+	}
+}
+
+func TestLikeOperator(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	r := mustQuery(t, db, `SELECT name FROM campaigns WHERE name LIKE '%-scifi'`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "pid-scifi" {
+		t.Errorf("LIKE result = %v", r.Rows)
+	}
+	r = mustQuery(t, db, `SELECT name FROM campaigns WHERE name LIKE '____'`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "idle" {
+		t.Errorf("underscore LIKE = %v", r.Rows)
+	}
+}
+
+func TestIsNullAndIn(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	mustExec(t, db, `INSERT INTO campaigns VALUES (4, 'orphan', NULL, 7, 0.1)`)
+	r := mustQuery(t, db, `SELECT id FROM campaigns WHERE target IS NULL`)
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 4 {
+		t.Errorf("IS NULL = %v", r.Rows)
+	}
+	r = mustQuery(t, db, `SELECT id FROM campaigns WHERE target IS NOT NULL AND id IN (1, 3, 4)`)
+	if len(r.Rows) != 2 {
+		t.Errorf("IN = %v", r.Rows)
+	}
+	r = mustQuery(t, db, `SELECT id FROM campaigns WHERE id NOT IN (1, 2, 3)`)
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 4 {
+		t.Errorf("NOT IN = %v", r.Rows)
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	r := mustQuery(t, db, `SELECT id FROM campaigns ORDER BY id LIMIT 2`)
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 1 {
+		t.Errorf("LIMIT = %v", r.Rows)
+	}
+	r = mustQuery(t, db, `SELECT id FROM campaigns ORDER BY id LIMIT 2 OFFSET 2`)
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 3 {
+		t.Errorf("OFFSET = %v", r.Rows)
+	}
+	r = mustQuery(t, db, `SELECT id FROM campaigns ORDER BY id LIMIT ? OFFSET ?`, Int(1), Int(1))
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 2 {
+		t.Errorf("parameterised LIMIT = %v", r.Rows)
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	mustExec(t, db, `INSERT INTO campaigns VALUES (5, 'extra', 'board2', 0, 0.9)`)
+	r := mustQuery(t, db, `SELECT target, faults FROM campaigns WHERE target IS NOT NULL ORDER BY target ASC, faults DESC`)
+	if r.Rows[0][0].S != "board2" {
+		t.Errorf("first row = %v", r.Rows[0])
+	}
+	// Within thor-rd, faults descend.
+	var thorFaults []int64
+	for _, row := range r.Rows {
+		if row[0].S == "thor-rd" {
+			thorFaults = append(thorFaults, row[1].I)
+		}
+	}
+	if len(thorFaults) != 2 || thorFaults[0] < thorFaults[1] {
+		t.Errorf("thor-rd faults order = %v", thorFaults)
+	}
+}
+
+func TestArithmeticInSelect(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	r := mustQuery(t, db, `SELECT faults * 2 + 1 AS f2 FROM campaigns WHERE id = 1`)
+	if r.Cols[0] != "f2" || r.Rows[0][0].I != 2001 {
+		t.Errorf("computed column = %v %v", r.Cols, r.Rows)
+	}
+	r = mustQuery(t, db, `SELECT 100.0 * faults / 1000 FROM campaigns WHERE id = 2`)
+	if r.Rows[0][0].R != 50.0 {
+		t.Errorf("percent = %v", r.Rows[0][0])
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE states (id INTEGER PRIMARY KEY, vec BLOB)`)
+	mustExec(t, db, `INSERT INTO states VALUES (1, x'deadbeef')`)
+	mustExec(t, db, `INSERT INTO states VALUES (2, ?)`, Blob([]byte{1, 2, 3}))
+	r := mustQuery(t, db, `SELECT vec FROM states ORDER BY id`)
+	if !bytes.Equal(r.Rows[0][0].B, []byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Errorf("blob literal = %x", r.Rows[0][0].B)
+	}
+	if !bytes.Equal(r.Rows[1][0].B, []byte{1, 2, 3}) {
+		t.Errorf("blob param = %x", r.Rows[1][0].B)
+	}
+}
+
+func TestInsertWithColumnList(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `INSERT INTO targets (name, chip) VALUES ('minimal', 'THOR-S')`)
+	r := mustQuery(t, db, `SELECT bits FROM targets WHERE name = 'minimal'`)
+	if !r.Rows[0][0].IsNull() {
+		t.Errorf("unlisted column = %v, want NULL", r.Rows[0][0])
+	}
+}
+
+func TestMultiRowInsert(t *testing.T) {
+	db := testDB(t)
+	n := mustExec(t, db, `INSERT INTO targets VALUES ('a', 'c1', 1), ('b', 'c2', 2)`)
+	if n != 2 {
+		t.Errorf("inserted %d, want 2", n)
+	}
+}
+
+func TestTypeCoercion(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	// Integer into REAL column widens.
+	mustExec(t, db, `UPDATE campaigns SET rate = 1 WHERE id = 1`)
+	r := mustQuery(t, db, `SELECT rate FROM campaigns WHERE id = 1`)
+	if r.Rows[0][0].K != KReal || r.Rows[0][0].R != 1.0 {
+		t.Errorf("coerced rate = %v", r.Rows[0][0])
+	}
+	// Text into INTEGER is rejected.
+	if _, err := db.Exec(`UPDATE campaigns SET faults = 'many' WHERE id = 1`); err == nil {
+		t.Error("text stored in integer column")
+	}
+}
+
+func TestUniqueColumn(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE u (id INTEGER PRIMARY KEY, tag TEXT UNIQUE)`)
+	mustExec(t, db, `INSERT INTO u VALUES (1, 'x'), (2, NULL), (3, NULL)`) // NULLs don't collide
+	if _, err := db.Exec(`INSERT INTO u VALUES (4, 'x')`); err == nil {
+		t.Error("duplicate unique value accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open()
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := mustQuery(t, db2, `SELECT COUNT(*) FROM campaigns`)
+	if r.Rows[0][0].I != 3 {
+		t.Errorf("loaded campaigns = %d, want 3", r.Rows[0][0].I)
+	}
+	// FK constraints survive the round trip.
+	if _, err := db2.Exec(`DELETE FROM targets WHERE name = 'thor-rd'`); err == nil {
+		t.Error("FK not enforced after load")
+	}
+	// PK index survives.
+	if _, err := db2.Exec(`INSERT INTO targets VALUES ('thor-rd', 'dup', 0)`); err == nil {
+		t.Error("PK not enforced after load")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	path := t.TempDir() + "/test.db"
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open()
+	if err := db2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.TableNames(); len(got) != 2 || got[0] != "targets" {
+		t.Errorf("loaded tables = %v", got)
+	}
+	if err := db2.LoadFile(path + ".missing"); err == nil {
+		t.Error("loading missing file did not error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	db := Open()
+	if err := db.Load(bytes.NewReader([]byte("not a database"))); err == nil {
+		t.Error("garbage load accepted")
+	}
+}
+
+func TestErrorsSurfaceCleanly(t *testing.T) {
+	db := testDB(t)
+	cases := []string{
+		`SELECT nope FROM targets`,
+		`SELECT * FROM ghost`,
+		`INSERT INTO ghost VALUES (1)`,
+		`INSERT INTO targets VALUES (1)`,
+		`UPDATE ghost SET x = 1`,
+		`DELETE FROM ghost`,
+		`SELECT * FROM targets WHERE`,
+		`CREATE TABLE bad (x WIBBLE)`,
+		`SELECT * FROM targets ORDER BY ghostcol`,
+		`SELECT SUM(*) FROM targets`,
+		`SELECT name FROM targets WHERE name = `,
+	}
+	for _, sql := range cases {
+		if _, err := db.Query(sql); err == nil {
+			if _, err2 := db.Exec(sql); err2 == nil {
+				t.Errorf("no error for %q", sql)
+			}
+		}
+	}
+}
+
+func TestSchemaIntrospection(t *testing.T) {
+	db := testDB(t)
+	cols, pk, fks, err := db.Schema("campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 5 || cols[0].Name != "id" {
+		t.Errorf("cols = %v", cols)
+	}
+	if len(pk) != 1 || pk[0] != "id" {
+		t.Errorf("pk = %v", pk)
+	}
+	if len(fks) != 1 || fks[0].RefTable != "targets" {
+		t.Errorf("fks = %v", fks)
+	}
+	if _, _, _, err := db.Schema("ghost"); err == nil {
+		t.Error("Schema(ghost) did not error")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	for v, want := range map[string]string{
+		Null().String():             "NULL",
+		Int(-5).String():            "-5",
+		Real(2.5).String():          "2.5",
+		Text("o'brien").String():    "'o''brien'",
+		Blob([]byte{0xab}).String(): "x'ab'",
+	} {
+		if v != want {
+			t.Errorf("String() = %q, want %q", v, want)
+		}
+	}
+}
+
+func TestCompareCrossKind(t *testing.T) {
+	if c, err := Compare(Int(1), Real(1.5)); err != nil || c != -1 {
+		t.Errorf("Compare(1, 1.5) = %d, %v", c, err)
+	}
+	if _, err := Compare(Int(1), Text("x")); err == nil {
+		t.Error("cross-kind compare accepted")
+	}
+	if _, err := Compare(Null(), Int(1)); err == nil {
+		t.Error("NULL compare accepted")
+	}
+	if Equal(Null(), Null()) {
+		t.Error("NULL = NULL must be false")
+	}
+}
+
+func TestLikeMatcher(t *testing.T) {
+	tests := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%lo", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true}, // two single-char wildcards cover "el"
+		{"hello", "h_lo", false}, // too short to cover "ell"
+		{"hello", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "a%b%c", true},
+		{"axbyc", "a%b%c", true},
+		{"ac", "a%b%c", false},
+	}
+	for _, tt := range tests {
+		if got := likeMatch(tt.s, tt.p); got != tt.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", tt.s, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	db := testDB(t)
+	seed(t, db)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				if _, err := db.Query(`SELECT COUNT(*) FROM campaigns`); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

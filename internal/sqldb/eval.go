@@ -1,0 +1,416 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// evalCtx supplies column values and statement parameters to expression
+// evaluation.
+type evalCtx struct {
+	table *Table
+	row   []Value
+	args  []Value
+}
+
+func (c *evalCtx) colValue(name string) (Value, error) {
+	if c.table == nil || c.row == nil {
+		return Value{}, fmt.Errorf("sqldb: column %q referenced outside a row context", name)
+	}
+	ci, err := c.table.colIndex(name)
+	if err != nil {
+		return Value{}, err
+	}
+	return c.row[ci], nil
+}
+
+func (c *evalCtx) param(idx int) (Value, error) {
+	if idx >= len(c.args) {
+		return Value{}, fmt.Errorf("sqldb: statement has %d parameter(s), %d argument(s) given",
+			idx+1, len(c.args))
+	}
+	return c.args[idx], nil
+}
+
+// eval evaluates an expression in the given context. Aggregate calls are
+// rejected here; they are handled by the aggregate executor.
+func eval(e Expr, c *evalCtx) (Value, error) {
+	switch e := e.(type) {
+	case *Lit:
+		return e.V, nil
+	case *Param:
+		return c.param(e.Idx)
+	case *ColRef:
+		return c.colValue(e.Name)
+	case *Unary:
+		return evalUnary(e, c)
+	case *Binary:
+		return evalBinary(e, c)
+	case *IsNull:
+		v, err := eval(e.X, c)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(v.IsNull() != e.Neg), nil
+	case *InList:
+		return evalIn(e, c)
+	case *Call:
+		return Value{}, fmt.Errorf("sqldb: aggregate %s used outside SELECT list", e.Fn)
+	default:
+		return Value{}, fmt.Errorf("sqldb: unknown expression node %T", e)
+	}
+}
+
+func evalUnary(e *Unary, c *evalCtx) (Value, error) {
+	v, err := eval(e.X, c)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.Op {
+	case "NOT":
+		if v.IsNull() {
+			return Null(), nil
+		}
+		return Bool(!v.Truth()), nil
+	case "-":
+		switch v.K {
+		case KNull:
+			return Null(), nil
+		case KInt:
+			return Int(-v.I), nil
+		case KReal:
+			return Real(-v.R), nil
+		default:
+			return Value{}, fmt.Errorf("sqldb: cannot negate %s", v.K)
+		}
+	default:
+		return Value{}, fmt.Errorf("sqldb: unknown unary operator %q", e.Op)
+	}
+}
+
+func evalBinary(e *Binary, c *evalCtx) (Value, error) {
+	switch e.Op {
+	case "AND", "OR":
+		l, err := eval(e.L, c)
+		if err != nil {
+			return Value{}, err
+		}
+		// Short-circuit with SQL three-valued logic approximated as:
+		// NULL behaves as false.
+		if e.Op == "AND" {
+			if !l.Truth() {
+				return Bool(false), nil
+			}
+			r, err := eval(e.R, c)
+			if err != nil {
+				return Value{}, err
+			}
+			return Bool(r.Truth()), nil
+		}
+		if l.Truth() {
+			return Bool(true), nil
+		}
+		r, err := eval(e.R, c)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(r.Truth()), nil
+	}
+
+	l, err := eval(e.L, c)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := eval(e.R, c)
+	if err != nil {
+		return Value{}, err
+	}
+
+	switch e.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Bool(false), nil
+		}
+		cmp, err := Compare(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		var res bool
+		switch e.Op {
+		case "=":
+			res = cmp == 0
+		case "!=":
+			res = cmp != 0
+		case "<":
+			res = cmp < 0
+		case "<=":
+			res = cmp <= 0
+		case ">":
+			res = cmp > 0
+		case ">=":
+			res = cmp >= 0
+		}
+		return Bool(res), nil
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return Bool(false), nil
+		}
+		ls, err := l.AsText()
+		if err != nil {
+			return Value{}, fmt.Errorf("sqldb: LIKE operand: %w", err)
+		}
+		rs, err := r.AsText()
+		if err != nil {
+			return Value{}, fmt.Errorf("sqldb: LIKE pattern: %w", err)
+		}
+		return Bool(likeMatch(ls, rs)), nil
+	case "+", "-", "*", "/", "%":
+		return arith(e.Op, l, r)
+	default:
+		return Value{}, fmt.Errorf("sqldb: unknown operator %q", e.Op)
+	}
+}
+
+func arith(op string, l, r Value) (Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return Null(), nil
+	}
+	if op == "+" && l.K == KText && r.K == KText {
+		return Text(l.S + r.S), nil
+	}
+	if l.K == KInt && r.K == KInt {
+		switch op {
+		case "+":
+			return Int(l.I + r.I), nil
+		case "-":
+			return Int(l.I - r.I), nil
+		case "*":
+			return Int(l.I * r.I), nil
+		case "/":
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("sqldb: division by zero")
+			}
+			return Int(l.I / r.I), nil
+		case "%":
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("sqldb: modulo by zero")
+			}
+			return Int(l.I % r.I), nil
+		}
+	}
+	lf, err := l.AsReal()
+	if err != nil {
+		return Value{}, err
+	}
+	rf, err := r.AsReal()
+	if err != nil {
+		return Value{}, err
+	}
+	switch op {
+	case "+":
+		return Real(lf + rf), nil
+	case "-":
+		return Real(lf - rf), nil
+	case "*":
+		return Real(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return Value{}, fmt.Errorf("sqldb: division by zero")
+		}
+		return Real(lf / rf), nil
+	case "%":
+		return Value{}, fmt.Errorf("sqldb: %% requires integer operands")
+	}
+	return Value{}, fmt.Errorf("sqldb: unknown arithmetic operator %q", op)
+}
+
+func evalIn(e *InList, c *evalCtx) (Value, error) {
+	x, err := eval(e.X, c)
+	if err != nil {
+		return Value{}, err
+	}
+	if x.IsNull() {
+		return Bool(false), nil
+	}
+	found := false
+	for _, le := range e.List {
+		v, err := eval(le, c)
+		if err != nil {
+			return Value{}, err
+		}
+		if Equal(x, v) {
+			found = true
+			break
+		}
+	}
+	return Bool(found != e.Neg), nil
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single char),
+// case-sensitive, via iterative backtracking.
+func likeMatch(s, pattern string) bool {
+	var si, pi int
+	star, sStar := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			sStar = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			sStar++
+			si = sStar
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// hasAggregate reports whether the expression tree contains an aggregate
+// call.
+func hasAggregate(e Expr) bool {
+	switch e := e.(type) {
+	case *Call:
+		return true
+	case *Unary:
+		return hasAggregate(e.X)
+	case *Binary:
+		return hasAggregate(e.L) || hasAggregate(e.R)
+	case *IsNull:
+		return hasAggregate(e.X)
+	case *InList:
+		if hasAggregate(e.X) {
+			return true
+		}
+		for _, le := range e.List {
+			if hasAggregate(le) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// aggState accumulates one aggregate over a row group.
+type aggState struct {
+	fn       string
+	distinct bool
+	count    int64
+	sumI     int64
+	sumR     float64
+	isReal   bool
+	min, max Value
+	seen     map[string]bool
+}
+
+func newAggState(fn string, distinct bool) *aggState {
+	s := &aggState{fn: fn, distinct: distinct}
+	if distinct {
+		s.seen = make(map[string]bool)
+	}
+	return s
+}
+
+func (s *aggState) add(v Value) error {
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	if s.distinct {
+		k := keyString([]Value{v})
+		if s.seen[k] {
+			return nil
+		}
+		s.seen[k] = true
+	}
+	s.count++
+	switch s.fn {
+	case "COUNT":
+	case "SUM", "AVG":
+		switch v.K {
+		case KInt:
+			s.sumI += v.I
+			s.sumR += float64(v.I)
+		case KReal:
+			s.isReal = true
+			s.sumR += v.R
+		default:
+			return fmt.Errorf("sqldb: %s over non-numeric %s", s.fn, v.K)
+		}
+	case "MIN", "MAX":
+		if s.count == 1 {
+			s.min, s.max = v, v
+			return nil
+		}
+		if c, err := Compare(v, s.min); err != nil {
+			return err
+		} else if c < 0 {
+			s.min = v
+		}
+		if c, err := Compare(v, s.max); err != nil {
+			return err
+		} else if c > 0 {
+			s.max = v
+		}
+	default:
+		return fmt.Errorf("sqldb: unknown aggregate %s", s.fn)
+	}
+	return nil
+}
+
+func (s *aggState) addStar() { s.count++ }
+
+func (s *aggState) result() Value {
+	switch s.fn {
+	case "COUNT":
+		return Int(s.count)
+	case "SUM":
+		if s.count == 0 {
+			return Null()
+		}
+		if s.isReal {
+			return Real(s.sumR)
+		}
+		return Int(s.sumI)
+	case "AVG":
+		if s.count == 0 {
+			return Null()
+		}
+		return Real(s.sumR / float64(s.count))
+	case "MIN":
+		if s.count == 0 {
+			return Null()
+		}
+		return s.min
+	case "MAX":
+		if s.count == 0 {
+			return Null()
+		}
+		return s.max
+	}
+	return Null()
+}
+
+// exprName derives a display column name for an expression.
+func exprName(e Expr) string {
+	switch e := e.(type) {
+	case *ColRef:
+		return e.Name
+	case *Call:
+		if e.Star {
+			return strings.ToLower(e.Fn) + "(*)"
+		}
+		return strings.ToLower(e.Fn) + "(" + exprName(e.Arg) + ")"
+	case *Lit:
+		return e.V.String()
+	default:
+		return "expr"
+	}
+}

@@ -1,0 +1,741 @@
+package sqldb
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks   []token
+	pos    int
+	params int // number of ? placeholders seen
+	sql    string
+}
+
+// Parse parses a single SQL statement.
+func Parse(sql string) (Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, sql: sql}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	p.acceptSym(";")
+	if p.cur().kind != tEOF {
+		return nil, p.errf("unexpected %q after statement", p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqldb: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.cur().kind == tKeyword && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if p.cur().kind == tSymbol && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	t := p.cur()
+	if t.kind != tKeyword {
+		return nil, p.errf("expected statement keyword, got %q", t.text)
+	}
+	switch t.text {
+	case "CREATE":
+		return p.createTable()
+	case "DROP":
+		return p.dropTable()
+	case "INSERT":
+		return p.insert()
+	case "SELECT":
+		return p.selectStmt()
+	case "UPDATE":
+		return p.update()
+	case "DELETE":
+		return p.delete()
+	default:
+		return nil, p.errf("unsupported statement %s", t.text)
+	}
+}
+
+func parseType(kw string) (Kind, bool) {
+	switch kw {
+	case "INTEGER", "INT":
+		return KInt, true
+	case "REAL":
+		return KReal, true
+	case "TEXT":
+		return KText, true
+	case "BLOB":
+		return KBlob, true
+	}
+	return 0, false
+}
+
+func (p *parser) createTable() (Statement, error) {
+	p.next() // CREATE
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		ct.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ct.Name = name
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptKw("PRIMARY"):
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parenIdentList()
+			if err != nil {
+				return nil, err
+			}
+			if ct.PrimaryKey != nil {
+				return nil, p.errf("multiple PRIMARY KEY clauses")
+			}
+			ct.PrimaryKey = cols
+		case p.acceptKw("FOREIGN"):
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parenIdentList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("REFERENCES"); err != nil {
+				return nil, err
+			}
+			ref, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			refCols, err := p.parenIdentList()
+			if err != nil {
+				return nil, err
+			}
+			ct.Foreign = append(ct.Foreign, ForeignKeyDef{Cols: cols, RefTable: ref, RefCols: refCols})
+		default:
+			col, err := p.columnDef()
+			if err != nil {
+				return nil, err
+			}
+			ct.Cols = append(ct.Cols, *col)
+		}
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) columnDef() (*ColumnDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tKeyword {
+		return nil, p.errf("expected column type, got %q", t.text)
+	}
+	kind, ok := parseType(t.text)
+	if !ok {
+		return nil, p.errf("unknown column type %s", t.text)
+	}
+	p.pos++
+	col := &ColumnDef{Name: name, Type: kind}
+	for {
+		switch {
+		case p.acceptKw("PRIMARY"):
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			col.PK = true
+			col.NotNull = true
+		case p.acceptKw("NOT"):
+			if err := p.expectKw("NULL"); err != nil {
+				return nil, err
+			}
+			col.NotNull = true
+		case p.acceptKw("UNIQUE"):
+			col.Unique = true
+		default:
+			return col, nil
+		}
+	}
+}
+
+func (p *parser) parenIdentList() ([]string, error) {
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func (p *parser) dropTable() (Statement, error) {
+	p.next() // DROP
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	dt := &DropTable{}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		dt.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	dt.Name = name
+	return dt, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	p.next() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	if p.cur().kind == tSymbol && p.cur().text == "(" {
+		cols, err := p.parenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		ins.Cols = cols
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptSym(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	p.next() // SELECT
+	sel := &Select{}
+	if p.acceptKw("DISTINCT") {
+		sel.Distinct = true
+	}
+	for {
+		if p.acceptSym("*") {
+			sel.Exprs = append(sel.Exprs, SelectExpr{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			se := SelectExpr{E: e}
+			if p.acceptKw("AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				se.Alias = alias
+			} else if p.cur().kind == tIdent {
+				se.Alias = p.next().text
+			}
+			sel.Exprs = append(sel.Exprs, se)
+		}
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = name
+	if p.acceptKw("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, c)
+			if p.acceptSym(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: c}
+			if p.acceptKw("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if p.acceptSym(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+		if p.acceptKw("OFFSET") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Offset = e
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) update() (Statement, error) {
+	p.next() // UPDATE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	up := &Update{Table: name}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, Assign{Col: col, E: e})
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = w
+	}
+	return up, nil
+}
+
+func (p *parser) delete() (Statement, error) {
+	p.next() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: name}
+	if p.acceptKw("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	expr    := and (OR and)*
+//	and     := not (AND not)*
+//	not     := NOT not | cmp
+//	cmp     := add ((= | != | <> | < | <= | > | >=| LIKE) add
+//	          | IS [NOT] NULL | [NOT] IN (list))?
+//	add     := mul ((+ | -) mul)*
+//	mul     := unary ((* | / | %) unary)*
+//	unary   := - unary | primary
+//	primary := literal | ? | ident | agg(...) | ( expr )
+func (p *parser) expr() (Expr, error) {
+	return p.orExpr()
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKw("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKw("IS") {
+		neg := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Neg: neg}, nil
+	}
+	negIn := false
+	if p.cur().kind == tKeyword && p.cur().text == "NOT" &&
+		p.toks[p.pos+1].kind == tKeyword && p.toks[p.pos+1].text == "IN" {
+		p.pos++ // NOT
+		negIn = true
+	}
+	if p.acceptKw("IN") {
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.acceptSym(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return &InList{X: l, List: list, Neg: negIn}, nil
+	}
+	if p.acceptKw("LIKE") {
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "LIKE", L: l, R: r}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.acceptSym(op) {
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			if op == "<>" {
+				op = "!="
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptSym("+"):
+			op = "+"
+		case p.acceptSym("-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptSym("*"):
+			op = "*"
+		case p.acceptSym("/"):
+			op = "/"
+		case p.acceptSym("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+var aggregates = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.acceptSym("-") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Lit{V: Real(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return &Lit{V: Int(i)}, nil
+	case tString:
+		p.pos++
+		return &Lit{V: Text(t.text)}, nil
+	case tBlob:
+		p.pos++
+		b, err := hex.DecodeString(t.text)
+		if err != nil {
+			return nil, p.errf("bad blob literal %q", t.text)
+		}
+		return &Lit{V: Blob(b)}, nil
+	case tParam:
+		p.pos++
+		e := &Param{Idx: p.params}
+		p.params++
+		return e, nil
+	case tKeyword:
+		if t.text == "NULL" {
+			p.pos++
+			return &Lit{V: Null()}, nil
+		}
+		if aggregates[t.text] {
+			p.pos++
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			call := &Call{Fn: t.text}
+			if p.acceptSym("*") {
+				if t.text != "COUNT" {
+					return nil, p.errf("%s(*) is not valid", t.text)
+				}
+				call.Star = true
+			} else {
+				if p.acceptKw("DISTINCT") {
+					call.Distinct = true
+				}
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Arg = arg
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return nil, p.errf("unexpected keyword %s in expression", t.text)
+	case tIdent:
+		p.pos++
+		return &ColRef{Name: t.text}, nil
+	case tSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected %q in expression", t.text)
+}

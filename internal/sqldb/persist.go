@@ -1,0 +1,125 @@
+package sqldb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// fileFormat is the persisted database image. Only exported DTO types go
+// through gob, so the in-memory representation can evolve independently.
+type fileFormat struct {
+	Magic   string
+	Version int
+	Tables  []tableDTO
+}
+
+type tableDTO struct {
+	Name   string
+	Cols   []Column
+	PKCols []string
+	FKs    []ForeignKey
+	Rows   [][]Value
+}
+
+const (
+	fileMagic   = "GOOFI-SQLDB"
+	fileVersion = 1
+)
+
+// Save writes the whole database to w.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ff := fileFormat{Magic: fileMagic, Version: fileVersion}
+	for _, name := range db.order {
+		t := db.tables[name]
+		ff.Tables = append(ff.Tables, tableDTO{
+			Name:   t.Name,
+			Cols:   t.Cols,
+			PKCols: t.PKCols,
+			FKs:    t.FKs,
+			Rows:   t.Rows,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&ff); err != nil {
+		return fmt.Errorf("sqldb: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database image produced by Save, replacing all contents.
+func (db *DB) Load(r io.Reader) error {
+	var ff fileFormat
+	if err := gob.NewDecoder(r).Decode(&ff); err != nil {
+		return fmt.Errorf("sqldb: load: %w", err)
+	}
+	if ff.Magic != fileMagic {
+		return fmt.Errorf("sqldb: load: bad magic %q", ff.Magic)
+	}
+	if ff.Version != fileVersion {
+		return fmt.Errorf("sqldb: load: unsupported version %d", ff.Version)
+	}
+	tables := make(map[string]*Table, len(ff.Tables))
+	var order []string
+	for _, td := range ff.Tables {
+		t := &Table{
+			Name:   td.Name,
+			Cols:   td.Cols,
+			PKCols: td.PKCols,
+			FKs:    td.FKs,
+			Rows:   td.Rows,
+		}
+		if err := t.rebuildIndex(); err != nil {
+			return fmt.Errorf("sqldb: load table %s: %w", td.Name, err)
+		}
+		tables[td.Name] = t
+		order = append(order, td.Name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables = tables
+	db.order = order
+	return nil
+}
+
+// SaveFile writes the database to a file, atomically via a temp file in
+// the same directory.
+func (db *DB) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".sqldb-*")
+	if err != nil {
+		return fmt.Errorf("sqldb: save file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := db.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sqldb: save file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("sqldb: save file: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a database image from a file.
+func (db *DB) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("sqldb: load file: %w", err)
+	}
+	defer f.Close()
+	return db.Load(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

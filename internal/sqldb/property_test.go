@@ -1,0 +1,271 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any row inserted with parameters round-trips exactly through
+// a SELECT, for every value kind.
+func TestPropertyInsertSelectRoundTrip(t *testing.T) {
+	f := func(id int64, txt string, num int64, real float64, blob []byte) bool {
+		db := Open()
+		if _, err := db.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, s TEXT, i INTEGER, r REAL, b BLOB)`); err != nil {
+			return false
+		}
+		if _, err := db.Exec(`INSERT INTO t VALUES (?, ?, ?, ?, ?)`,
+			Int(id), Text(txt), Int(num), Real(real), Blob(blob)); err != nil {
+			return false
+		}
+		res, err := db.Query(`SELECT s, i, r, b FROM t WHERE id = ?`, Int(id))
+		if err != nil || len(res.Rows) != 1 {
+			return false
+		}
+		row := res.Rows[0]
+		if row[0].S != txt || row[1].I != num {
+			return false
+		}
+		if row[2].R != real && !(row[2].R != row[2].R && real != real) { // NaN-safe
+			return false
+		}
+		if string(row[3].B) != string(blob) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: COUNT(*) equals the number of inserted rows minus deleted
+// rows, under random interleavings of inserts and deletes.
+func TestPropertyCountTracksInsertsAndDeletes(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw)%60 + 1
+		db := Open()
+		db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY)`)
+		live := make(map[int64]bool)
+		next := int64(0)
+		for i := 0; i < ops; i++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				if _, err := db.Exec(`INSERT INTO t VALUES (?)`, Int(next)); err != nil {
+					return false
+				}
+				live[next] = true
+				next++
+			} else {
+				var victim int64
+				for k := range live {
+					victim = k
+					break
+				}
+				if _, err := db.Exec(`DELETE FROM t WHERE id = ?`, Int(victim)); err != nil {
+					return false
+				}
+				delete(live, victim)
+			}
+		}
+		res, err := db.Query(`SELECT COUNT(*) FROM t`)
+		if err != nil {
+			return false
+		}
+		return res.Rows[0][0].I == int64(len(live))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ORDER BY returns rows sorted, and LIMIT/OFFSET slice that
+// order consistently.
+func TestPropertyOrderByIsSorted(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%40 + 1
+		db := Open()
+		db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)`)
+		for i := 0; i < n; i++ {
+			db.MustExec(`INSERT INTO t VALUES (?, ?)`, Int(int64(i)), Int(rng.Int63n(100)))
+		}
+		res, err := db.Query(`SELECT v FROM t ORDER BY v`)
+		if err != nil || len(res.Rows) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if res.Rows[i-1][0].I > res.Rows[i][0].I {
+				return false
+			}
+		}
+		// LIMIT k OFFSET j equals the slice of the full ordering.
+		k, j := rng.Intn(n)+1, rng.Intn(n)
+		sliced, err := db.Query(`SELECT v FROM t ORDER BY v LIMIT ? OFFSET ?`,
+			Int(int64(k)), Int(int64(j)))
+		if err != nil {
+			return false
+		}
+		want := res.Rows
+		if j < len(want) {
+			want = want[j:]
+		} else {
+			want = nil
+		}
+		if k < len(want) {
+			want = want[:k]
+		}
+		if len(sliced.Rows) != len(want) {
+			return false
+		}
+		for i := range want {
+			if sliced.Rows[i][0].I != want[i][0].I {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SUM/MIN/MAX/AVG agree with host-side computation over random
+// integer columns.
+func TestPropertyAggregatesAgree(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%30 + 1
+		db := Open()
+		db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)`)
+		var sum, minV, maxV int64
+		for i := 0; i < n; i++ {
+			v := rng.Int63n(2001) - 1000
+			if i == 0 {
+				minV, maxV = v, v
+			}
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			sum += v
+			db.MustExec(`INSERT INTO t VALUES (?, ?)`, Int(int64(i)), Int(v))
+		}
+		res, err := db.Query(`SELECT SUM(v), MIN(v), MAX(v), AVG(v), COUNT(*) FROM t`)
+		if err != nil {
+			return false
+		}
+		row := res.Rows[0]
+		wantAvg := float64(sum) / float64(n)
+		return row[0].I == sum && row[1].I == minV && row[2].I == maxV &&
+			abs(row[3].R-wantAvg) < 1e-9 && row[4].I == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Property: save/load round-trips arbitrary table contents, preserving
+// row counts and primary key enforcement.
+func TestPropertySaveLoadPreservesRows(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 30
+		db := Open()
+		db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, b BLOB)`)
+		for i := 0; i < n; i++ {
+			blob := make([]byte, rng.Intn(32))
+			rng.Read(blob)
+			db.MustExec(`INSERT INTO t VALUES (?, ?)`, Int(int64(i)), Blob(blob))
+		}
+		var buf writerBuffer
+		if err := db.Save(&buf); err != nil {
+			return false
+		}
+		db2 := Open()
+		if err := db2.Load(&buf); err != nil {
+			return false
+		}
+		res, err := db2.Query(`SELECT COUNT(*) FROM t`)
+		if err != nil || res.Rows[0][0].I != int64(n) {
+			return false
+		}
+		if n > 0 {
+			if _, err := db2.Exec(`INSERT INTO t VALUES (0, NULL)`); err == nil {
+				return false // duplicate PK must be rejected after load
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// writerBuffer is a minimal in-memory io.ReadWriter.
+type writerBuffer struct {
+	data []byte
+	off  int
+}
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+
+func (w *writerBuffer) Read(p []byte) (int, error) {
+	if w.off >= len(w.data) {
+		return 0, fmt.Errorf("EOF")
+	}
+	n := copy(p, w.data[w.off:])
+	w.off += n
+	return n, nil
+}
+
+// Property: the lexer+parser never panic on arbitrary input; they either
+// parse or return an error.
+func TestPropertyParserNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every statement the engine accepts can be round-tripped via
+// Exec without corrupting the table registry (names stay listable).
+func TestPropertyTableRegistryConsistent(t *testing.T) {
+	db := Open()
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	for _, n := range names {
+		db.MustExec(fmt.Sprintf(`CREATE TABLE %s (id INTEGER PRIMARY KEY)`, n))
+	}
+	db.MustExec(`DROP TABLE beta`)
+	got := db.TableNames()
+	want := []string{"alpha", "gamma", "delta"}
+	if len(got) != len(want) {
+		t.Fatalf("tables = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tables[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

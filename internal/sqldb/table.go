@@ -1,0 +1,142 @@
+package sqldb
+
+import (
+	"fmt"
+)
+
+// Column is one column of a table schema.
+type Column struct {
+	Name    string
+	Type    Kind
+	NotNull bool
+	Unique  bool
+}
+
+// ForeignKey is a resolved foreign key constraint.
+type ForeignKey struct {
+	Cols     []string
+	RefTable string
+	RefCols  []string
+}
+
+// Table holds a schema and its rows. Access is coordinated by DB.
+type Table struct {
+	Name    string
+	Cols    []Column
+	PKCols  []string
+	FKs     []ForeignKey
+	Rows    [][]Value
+	pkIndex map[string]int // primary key tuple -> row index
+}
+
+// colIndex returns the index of a column by name.
+func (t *Table) colIndex(name string) (int, error) {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sqldb: table %s has no column %q", t.Name, name)
+}
+
+// colIndexes maps a list of names to indexes.
+func (t *Table) colIndexes(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		ci, err := t.colIndex(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ci
+	}
+	return out, nil
+}
+
+// pkKey extracts the primary key tuple of a row as an index key. Returns
+// "" when the table has no primary key.
+func (t *Table) pkKey(row []Value) string {
+	if len(t.PKCols) == 0 {
+		return ""
+	}
+	idx, err := t.colIndexes(t.PKCols)
+	if err != nil {
+		return ""
+	}
+	vals := make([]Value, len(idx))
+	for i, ci := range idx {
+		vals[i] = row[ci]
+	}
+	return keyString(vals)
+}
+
+// rebuildIndex reconstructs the primary key index from the rows.
+func (t *Table) rebuildIndex() error {
+	if len(t.PKCols) == 0 {
+		t.pkIndex = nil
+		return nil
+	}
+	t.pkIndex = make(map[string]int, len(t.Rows))
+	for i, row := range t.Rows {
+		k := t.pkKey(row)
+		if _, dup := t.pkIndex[k]; dup {
+			return fmt.Errorf("sqldb: duplicate primary key %s in table %s", k, t.Name)
+		}
+		t.pkIndex[k] = i
+	}
+	return nil
+}
+
+// checkRow validates a row against column constraints (type, NOT NULL)
+// and coerces values to the column types. It does not check uniqueness or
+// foreign keys; those need DB context.
+func (t *Table) checkRow(row []Value) ([]Value, error) {
+	if len(row) != len(t.Cols) {
+		return nil, fmt.Errorf("sqldb: table %s has %d columns, got %d values",
+			t.Name, len(t.Cols), len(row))
+	}
+	out := make([]Value, len(row))
+	for i, v := range row {
+		c := t.Cols[i]
+		if v.IsNull() {
+			if c.NotNull {
+				return nil, fmt.Errorf("sqldb: column %s.%s is NOT NULL", t.Name, c.Name)
+			}
+			out[i] = v
+			continue
+		}
+		cv, err := coerce(v, c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: column %s.%s: %w", t.Name, c.Name, err)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// hasPKRow reports whether a row with the given key tuple values (in
+// PKCols order) exists.
+func (t *Table) hasPKRow(vals []Value) bool {
+	if len(t.PKCols) == 0 {
+		return false
+	}
+	_, ok := t.pkIndex[keyString(vals)]
+	return ok
+}
+
+// findRows returns the values of the named columns for every row; used by
+// foreign key checks against non-PK column sets.
+func (t *Table) tupleSet(cols []string) (map[string]bool, error) {
+	idx, err := t.colIndexes(cols)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool, len(t.Rows))
+	for _, row := range t.Rows {
+		vals := make([]Value, len(idx))
+		for i, ci := range idx {
+			vals[i] = row[ci]
+		}
+		set[keyString(vals)] = true
+	}
+	return set, nil
+}

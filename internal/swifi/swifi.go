@@ -1,0 +1,425 @@
+// Package swifi implements software implemented fault injection targets
+// for THOR-S: pre-runtime SWIFI, where "faults are injected into the
+// program and data areas of the target system before it starts to execute"
+// (paper §1), and runtime SWIFI, where the workload is stopped at a
+// trigger point and the fault is applied through software (a paper §4
+// extension).
+//
+// Unlike SCIFI, SWIFI reaches only memory — registers, flags and cache
+// state are inaccessible. The comparison between the two fault spaces is
+// exactly the point of the E3 experiment.
+package swifi
+
+import (
+	"fmt"
+
+	"goofi/internal/asm"
+	"goofi/internal/bitvec"
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/envsim"
+	"goofi/internal/scanchain"
+	"goofi/internal/thor"
+	"goofi/internal/trigger"
+)
+
+// MemoryChainName is the pseudo scan-chain name exposing target memory as
+// a fault location space for SWIFI campaigns.
+const MemoryChainName = "memory"
+
+// Mode selects pre-runtime or runtime injection.
+type Mode int
+
+// SWIFI modes.
+const (
+	// PreRuntime mutates the workload image before download.
+	PreRuntime Mode = iota
+	// Runtime stops the workload at the trigger point and mutates
+	// memory in place.
+	Runtime
+)
+
+// Target is the THOR-S SWIFI target system interface. The fault space is
+// the workload image: fault bit offsets index into memory starting at
+// address 0, bit 0 being the MSB of the word at address 0 (matching the
+// big-endian memory layout exposed in MemoryMap).
+type Target struct {
+	core.Framework
+
+	cfg  thor.Config
+	mode Mode
+	cpu  *thor.CPU
+	envs *envsim.Registry
+
+	prog             *asm.Program
+	image            []byte
+	trig             trigger.Trigger
+	sim              envsim.Simulator
+	iteration        int
+	atInjectionPoint bool
+}
+
+// New returns a SWIFI target in the given mode.
+func New(cfg thor.Config, mode Mode) *Target {
+	name := "thor-s-swifi-preruntime"
+	if mode == Runtime {
+		name = "thor-s-swifi-runtime"
+	}
+	return &Target{
+		Framework: core.Framework{TargetName: name},
+		cfg:       cfg,
+		mode:      mode,
+		cpu:       thor.New(cfg),
+		envs:      envsim.NewRegistry(),
+	}
+}
+
+// CPU exposes the processor for tests.
+func (t *Target) CPU() *thor.CPU { return t.cpu }
+
+// ImageSize returns the assembled size of a workload source, for sizing
+// the SWIFI fault space.
+func ImageSize(source string) (int, error) {
+	prog, err := asm.Assemble(source)
+	if err != nil {
+		return 0, err
+	}
+	return len(prog.Image), nil
+}
+
+// MemoryMap builds the SWIFI fault-location map over an image of the
+// given size: one location per 32-bit word, named mem.<hexaddr>.
+func MemoryMap(imageBytes int) scanchain.Map {
+	words := (imageBytes + 3) / 4
+	m := scanchain.Map{Chain: MemoryChainName, Length: words * 32}
+	for w := 0; w < words; w++ {
+		m.Locations = append(m.Locations, scanchain.Location{
+			Name:   fmt.Sprintf("mem.%04x", w*4),
+			Offset: w * 32,
+			Width:  32,
+		})
+	}
+	return m
+}
+
+// TargetSystemData returns the configuration-phase record for a SWIFI
+// target over an image of the given size.
+func TargetSystemData(name string, imageBytes int) *campaign.TargetSystemData {
+	return &campaign.TargetSystemData{
+		Name:         name,
+		TestCardName: "thor-s-swifi-monitor",
+		Chains:       []scanchain.Map{MemoryMap(imageBytes)},
+		Description:  "THOR-S board accessed via software implemented fault injection",
+	}
+}
+
+// InitTestCard resets the board and per-experiment state.
+func (t *Target) InitTestCard(ex *core.Experiment) error {
+	t.cpu.Reset()
+	t.cpu.ClearMemory()
+	t.cpu.TraceHook = nil
+	t.prog = nil
+	t.image = nil
+	t.trig = nil
+	t.sim = nil
+	t.iteration = 0
+	t.atInjectionPoint = false
+	return nil
+}
+
+// LoadWorkload assembles the workload into a host-side image.
+func (t *Target) LoadWorkload(ex *core.Experiment) error {
+	prog, err := asm.Assemble(ex.Campaign.Workload.Source)
+	if err != nil {
+		return fmt.Errorf("swifi: assemble workload: %w", err)
+	}
+	t.prog = prog
+	t.image = make([]byte, len(prog.Image))
+	copy(t.image, prog.Image)
+	return nil
+}
+
+// InjectFault applies the fault. In pre-runtime mode it mutates the
+// host-side image (called before WriteMemory); in runtime mode it mutates
+// target memory in place (called after WaitForBreakpoint).
+func (t *Target) InjectFault(ex *core.Experiment) error {
+	if ex.Fault == nil {
+		return nil
+	}
+	switch t.mode {
+	case PreRuntime:
+		if t.image == nil {
+			return fmt.Errorf("swifi: InjectFault before LoadWorkload")
+		}
+		// The configured fault space may extend past the assembled
+		// image: the "program and data areas" include memory the
+		// program only writes at run time. Zero-extend to cover it.
+		t.image = extendForFault(t.image, ex.Fault.Bits)
+		if err := applyToBytes(ex, t.image); err != nil {
+			return err
+		}
+	case Runtime:
+		if !t.atInjectionPoint {
+			// The workload terminated before the trigger fired; the
+			// fault's time point never occurred.
+			return nil
+		}
+		// Read-modify-write the affected words in target memory.
+		span := len(extendForFault(t.image, ex.Fault.Bits))
+		mem, err := t.cpu.ReadMemory(0, span)
+		if err != nil {
+			return err
+		}
+		if err := applyToBytes(ex, mem); err != nil {
+			return err
+		}
+		if err := t.cpu.LoadMemory(0, mem); err != nil {
+			return err
+		}
+		// Keep caches coherent word by word for the touched bits, as a
+		// debug-monitor write would (runtime SWIFI goes through the
+		// memory system).
+		for _, b := range ex.Fault.Bits {
+			addr := uint32(b/32) * 4
+			w, err := wordAt(mem, addr)
+			if err != nil {
+				return err
+			}
+			if err := t.cpu.WriteWord32(addr, w); err != nil {
+				return err
+			}
+		}
+		ex.InjectionCycle = t.cpu.Cycle()
+	}
+	ex.Injected = true
+	return nil
+}
+
+// extendForFault zero-extends an image so every fault bit maps to a byte.
+func extendForFault(image []byte, bits []int) []byte {
+	need := len(image)
+	for _, b := range bits {
+		if n := (b/32 + 1) * 4; n > need {
+			need = n
+		}
+	}
+	if need > len(image) {
+		image = append(image, make([]byte, need-len(image))...)
+	}
+	return image
+}
+
+// applyToBytes applies the fault to a byte image using the MemoryMap bit
+// layout (bit 0 of a location = MSB of the word, matching big-endian
+// memory).
+func applyToBytes(ex *core.Experiment, image []byte) error {
+	if err := ex.Fault.Validate(len(image) * 8); err != nil {
+		return err
+	}
+	v := bitvec.New(len(image) * 8)
+	for i, by := range image {
+		v.SetUint64(i*8, 8, uint64(reverseByte(by)))
+	}
+	ex.Fault.Apply(v, ex.RNG)
+	for i := range image {
+		image[i] = reverseByte(byte(v.Uint64(i*8, 8)))
+	}
+	return nil
+}
+
+// reverseByte mirrors bit order so that bit offset 0 of the fault space is
+// the most significant bit of byte 0.
+func reverseByte(b byte) byte {
+	b = b>>4 | b<<4
+	b = b>>2&0x33 | b<<2&0xCC
+	b = b>>1&0x55 | b<<1&0xAA
+	return b
+}
+
+func wordAt(mem []byte, addr uint32) (uint32, error) {
+	if int(addr)+4 > len(mem) {
+		return 0, fmt.Errorf("swifi: word at %#x outside image", addr)
+	}
+	return uint32(mem[addr])<<24 | uint32(mem[addr+1])<<16 |
+		uint32(mem[addr+2])<<8 | uint32(mem[addr+3]), nil
+}
+
+// WriteMemory downloads the (possibly mutated) image and initial inputs.
+func (t *Target) WriteMemory(ex *core.Experiment) error {
+	if t.image == nil {
+		return fmt.Errorf("swifi: WriteMemory before LoadWorkload")
+	}
+	if err := t.cpu.LoadMemory(0, t.image); err != nil {
+		return err
+	}
+	wl := &ex.Campaign.Workload
+	for code, symbol := range wl.RecoveryHandlers {
+		addr, err := t.prog.Symbol(symbol)
+		if err != nil {
+			return fmt.Errorf("swifi: recovery handler: %w", err)
+		}
+		t.cpu.SetTrapHandler(code, addr)
+	}
+	if ex.Campaign.EnvSim != nil {
+		sim, err := t.envs.New(ex.Campaign.EnvSim.Name, ex.Campaign.EnvSim.Params)
+		if err != nil {
+			return err
+		}
+		t.sim = sim
+		t.cpu.Ports().PushInput(wl.InputPort, sim.Exchange(nil)...)
+	}
+	return nil
+}
+
+// RunWorkload arms the trigger (runtime mode) and the detail hook.
+func (t *Target) RunWorkload(ex *core.Experiment) error {
+	if t.mode == Runtime && !ex.IsReference() {
+		trig, err := ex.Trigger.Build()
+		if err != nil {
+			return err
+		}
+		trig.Reset()
+		t.trig = trig
+	}
+	return nil
+}
+
+// WaitForBreakpoint runs to the injection point (runtime mode only).
+func (t *Target) WaitForBreakpoint(ex *core.Experiment) error {
+	if t.mode != Runtime {
+		return fmt.Errorf("swifi: WaitForBreakpoint in pre-runtime mode")
+	}
+	if t.trig == nil {
+		return fmt.Errorf("swifi: WaitForBreakpoint before RunWorkload")
+	}
+	budget := ex.Campaign.Termination.TimeoutCycles
+	for {
+		fired, st := trigger.RunUntil(t.cpu, t.trig, budget-minU64(budget, t.cpu.Cycle()))
+		if fired {
+			ex.InjectionCycle = t.cpu.Cycle()
+			t.atInjectionPoint = true
+			return nil
+		}
+		if st == thor.StatusIterationEnd {
+			if err := t.exchange(ex); err != nil {
+				return err
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (t *Target) exchange(ex *core.Experiment) error {
+	wl := &ex.Campaign.Workload
+	outs := t.cpu.Ports().DrainOutput(wl.OutputPort)
+	if ex.Result.Outputs == nil {
+		ex.Result.Outputs = make(map[uint16][]uint32)
+	}
+	ex.Result.Outputs[wl.OutputPort] = append(ex.Result.Outputs[wl.OutputPort], outs...)
+	if t.sim != nil {
+		t.cpu.Ports().PushInput(wl.InputPort, t.sim.Exchange(outs)...)
+	}
+	t.iteration++
+	return t.cpu.ResumeIteration()
+}
+
+// WaitForTermination runs to a termination condition (paper §3.2).
+func (t *Target) WaitForTermination(ex *core.Experiment) error {
+	term := ex.Campaign.Termination
+	for {
+		if t.cpu.Cycle() >= term.TimeoutCycles {
+			t.finish(ex, campaign.OutcomeTimeout, nil)
+			return nil
+		}
+		st := t.cpu.Run(term.TimeoutCycles - t.cpu.Cycle())
+		switch st {
+		case thor.StatusHalted:
+			t.finish(ex, campaign.OutcomeCompleted, nil)
+			return nil
+		case thor.StatusDetected:
+			t.finish(ex, campaign.OutcomeDetected, t.cpu.Detection())
+			return nil
+		case thor.StatusIterationEnd:
+			if term.MaxIterations > 0 && t.iteration+1 >= term.MaxIterations {
+				wl := &ex.Campaign.Workload
+				outs := t.cpu.Ports().DrainOutput(wl.OutputPort)
+				if ex.Result.Outputs == nil {
+					ex.Result.Outputs = make(map[uint16][]uint32)
+				}
+				ex.Result.Outputs[wl.OutputPort] = append(ex.Result.Outputs[wl.OutputPort], outs...)
+				t.iteration++
+				t.finish(ex, campaign.OutcomeCompleted, nil)
+				return nil
+			}
+			if err := t.exchange(ex); err != nil {
+				return err
+			}
+		case thor.StatusOutOfBudget:
+			if err := t.cpu.ClearOutOfBudget(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("swifi: unexpected status %v", st)
+		}
+	}
+}
+
+func (t *Target) finish(ex *core.Experiment, status campaign.OutcomeStatus, det *thor.Detection) {
+	out := campaign.Outcome{Status: status, Cycles: t.cpu.Cycle(), Iterations: t.iteration}
+	if det != nil {
+		out.Mechanism = det.Mechanism.String()
+		out.DetectionCycle = det.Cycle
+	}
+	for _, ev := range t.cpu.Events() {
+		if ev.Mechanism == thor.EDMAssertion && (det == nil || ev.Cycle != det.Cycle) {
+			out.Recovered++
+		}
+	}
+	wl := &ex.Campaign.Workload
+	outs := t.cpu.Ports().DrainOutput(wl.OutputPort)
+	if len(outs) > 0 {
+		if ex.Result.Outputs == nil {
+			ex.Result.Outputs = make(map[uint16][]uint32)
+		}
+		ex.Result.Outputs[wl.OutputPort] = append(ex.Result.Outputs[wl.OutputPort], outs...)
+	}
+	ex.Result.Outcome = out
+}
+
+// ReadMemory reads back the result symbols.
+func (t *Target) ReadMemory(ex *core.Experiment) error {
+	if t.prog == nil {
+		return fmt.Errorf("swifi: ReadMemory before LoadWorkload")
+	}
+	wl := &ex.Campaign.Workload
+	words := wl.ResultWords
+	if words <= 0 {
+		words = 1
+	}
+	if ex.Result.Memory == nil {
+		ex.Result.Memory = make(map[string][]byte, len(wl.ResultSymbols))
+	}
+	for _, sym := range wl.ResultSymbols {
+		addr, err := t.prog.Symbol(sym)
+		if err != nil {
+			return fmt.Errorf("swifi: result symbol: %w", err)
+		}
+		b, err := t.cpu.ReadMemory(addr, words*4)
+		if err != nil {
+			return err
+		}
+		ex.Result.Memory[sym] = b
+	}
+	return nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Interface compliance.
+var _ core.TargetSystem = (*Target)(nil)

@@ -1,0 +1,65 @@
+package thor
+
+// PortSet models the memory-mapped I/O ports through which the workload
+// exchanges data with the environment simulator (paper §3.2: "data may be
+// exchanged with a user provided environment simulator"). Input ports are
+// FIFO queues written by the host and read by IN; output ports are FIFO
+// queues written by OUT and drained by the host.
+type PortSet struct {
+	in  map[uint16][]uint32
+	out map[uint16][]uint32
+}
+
+// NewPortSet returns an empty port set.
+func NewPortSet() *PortSet {
+	return &PortSet{
+		in:  make(map[uint16][]uint32),
+		out: make(map[uint16][]uint32),
+	}
+}
+
+// Reset discards all queued data.
+func (p *PortSet) Reset() {
+	p.in = make(map[uint16][]uint32)
+	p.out = make(map[uint16][]uint32)
+}
+
+// PushInput queues values on an input port (host side).
+func (p *PortSet) PushInput(port uint16, vals ...uint32) {
+	p.in[port] = append(p.in[port], vals...)
+}
+
+// DrainOutput removes and returns all values written to an output port
+// (host side).
+func (p *PortSet) DrainOutput(port uint16) []uint32 {
+	vals := p.out[port]
+	p.out[port] = nil
+	return vals
+}
+
+// PeekOutput returns the values on an output port without draining.
+func (p *PortSet) PeekOutput(port uint16) []uint32 {
+	out := make([]uint32, len(p.out[port]))
+	copy(out, p.out[port])
+	return out
+}
+
+// InputDepth returns the number of values queued on an input port.
+func (p *PortSet) InputDepth(port uint16) int { return len(p.in[port]) }
+
+// cpuRead pops one value from an input port, returning zero when empty
+// (reading an idle bus).
+func (p *PortSet) cpuRead(port uint16) uint32 {
+	q := p.in[port]
+	if len(q) == 0 {
+		return 0
+	}
+	v := q[0]
+	p.in[port] = q[1:]
+	return v
+}
+
+// cpuWrite appends one value to an output port.
+func (p *PortSet) cpuWrite(port uint16, v uint32) {
+	p.out[port] = append(p.out[port], v)
+}

@@ -1,0 +1,333 @@
+package thor_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"goofi/internal/asm"
+	"goofi/internal/thor"
+)
+
+func TestScanLayoutIsContiguous(t *testing.T) {
+	layout := thor.ScanLayout()
+	off := 0
+	seen := make(map[string]bool)
+	for _, f := range layout {
+		if f.Offset != off {
+			t.Fatalf("field %s at offset %d, expected %d (gap or overlap)", f.Name, f.Offset, off)
+		}
+		if seen[f.Name] {
+			t.Fatalf("duplicate field name %s", f.Name)
+		}
+		seen[f.Name] = true
+		off = f.End()
+	}
+	if off != thor.ScanLen() {
+		t.Fatalf("layout ends at %d, ScanLen = %d", off, thor.ScanLen())
+	}
+}
+
+func TestScanLayoutReadOnlyCounters(t *testing.T) {
+	for _, name := range []string{"cpu.cycle", "cpu.instret"} {
+		f, err := thor.ScanFieldByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.ReadOnly {
+			t.Errorf("%s not read-only", name)
+		}
+	}
+	f, err := thor.ScanFieldByName("cpu.r0")
+	if err != nil || f.ReadOnly {
+		t.Errorf("cpu.r0: err=%v readonly=%v", err, f.ReadOnly)
+	}
+	if _, err := thor.ScanFieldByName("nonexistent"); err == nil {
+		t.Error("ScanFieldByName(nonexistent) did not error")
+	}
+}
+
+func TestScanReadWriteRoundTrip(t *testing.T) {
+	c, _ := load(t, thor.DefaultConfig(), `
+		ldi r1, 123
+		ldi r2, -7
+		la r3, data
+		ld r4, [r3]
+		halt
+	data:
+		.word 0xcafe
+	`)
+	for i := 0; i < 5; i++ {
+		c.Step()
+	}
+	v := c.ScanRead()
+	// Write the unchanged vector back: state must be identical.
+	before := c.Snapshot()
+	if err := c.ScanWrite(v); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Snapshot()
+	if before.Regs != after.Regs || before.PC != after.PC || before.Flags != after.Flags {
+		t.Error("ScanWrite of unmodified ScanRead changed CPU state")
+	}
+	if before.ICache != after.ICache || before.DCache != after.DCache {
+		t.Error("ScanWrite of unmodified ScanRead changed cache state")
+	}
+}
+
+func TestScanReadObservesRegisters(t *testing.T) {
+	c, _ := load(t, thor.DefaultConfig(), `
+		ldi r5, 77
+		halt
+	`)
+	c.Step()
+	v := c.ScanRead()
+	f, err := thor.ScanFieldByName("cpu.r5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Uint64(f.Offset, f.Width); got != 77 {
+		t.Errorf("scanned r5 = %d, want 77", got)
+	}
+}
+
+func TestScanWriteInjectsRegisterFault(t *testing.T) {
+	c, prog := load(t, thor.DefaultConfig(), `
+		ldi r1, 8
+		la r2, out
+		st [r2], r1
+		halt
+	out:
+		.word 0
+	`)
+	c.Step() // ldi r1, 8
+	v := c.ScanRead()
+	f, _ := thor.ScanFieldByName("cpu.r1")
+	v.Flip(f.Offset + 2) // flip bit 2: 8 -> 12
+	if err := c.ScanWrite(v); err != nil {
+		t.Fatal(err)
+	}
+	run(t, c)
+	w, _ := c.ReadWord32(prog.MustSymbol("out"))
+	if w != 12 {
+		t.Errorf("stored value = %d, want 12 after bit-flip in r1", w)
+	}
+}
+
+func TestScanWriteReadOnlyFieldsIgnored(t *testing.T) {
+	c, _ := load(t, thor.DefaultConfig(), `
+		ldi r1, 1
+		ldi r2, 2
+		halt
+	`)
+	c.Step()
+	c.Step()
+	cyclesBefore := c.Cycle()
+	v := c.ScanRead()
+	f, _ := thor.ScanFieldByName("cpu.cycle")
+	v.SetUint64(f.Offset, f.Width, 0) // attempt to clear the cycle counter
+	if err := c.ScanWrite(v); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycle() != cyclesBefore {
+		t.Errorf("cycle counter changed by scan write: %d -> %d", cyclesBefore, c.Cycle())
+	}
+}
+
+func TestScanWriteLengthMismatch(t *testing.T) {
+	c := thor.New(thor.DefaultConfig())
+	if err := c.ScanWrite(c.BoundaryRead()); err == nil {
+		t.Error("ScanWrite with wrong-length vector did not error")
+	}
+}
+
+func TestCacheParityEDMViaScanInjection(t *testing.T) {
+	// Run a tight loop so the icache holds live lines, flip one data bit
+	// in a valid icache word via the scan chain, and expect the parity
+	// EDM on the next fetch of that word — the signature SCIFI behaviour
+	// on the Thor RD's parity-protected caches.
+	c, _ := load(t, thor.DefaultConfig(), `
+		ldi r1, 0
+	loop:
+		addi r1, r1, 1
+		cmpi r1, 1000
+		blt loop
+		halt
+	`)
+	for i := 0; i < 20; i++ {
+		c.Step()
+	}
+	v := c.ScanRead()
+	// Find a valid icache line and flip a bit in word 0.
+	layout := thor.ScanLayout()
+	injected := false
+	for _, f := range layout {
+		if !injected && len(f.Name) > 7 && f.Name[:6] == "icache" && hasSuffix(f.Name, ".valid") && v.Get(f.Offset) {
+			// word1 of line 0 holds the loop-head instruction at
+			// address 4, which is re-fetched every iteration; a
+			// corrupted word0 (the preamble at address 0) would
+			// never be read again and the fault would stay latent.
+			lineName := f.Name[:len(f.Name)-len(".valid")]
+			wf, err := thor.ScanFieldByName(lineName + ".word1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			v.Flip(wf.Offset + 5)
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("no valid icache line found to inject into")
+	}
+	if err := c.ScanWrite(v); err != nil {
+		t.Fatal(err)
+	}
+	st := run(t, c)
+	if st != thor.StatusDetected {
+		t.Fatalf("status = %v, want detected (parity)", st)
+	}
+	if got := c.Detection().Mechanism; got != thor.EDMParityI {
+		t.Errorf("mechanism = %v, want parity-icache", got)
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func TestScanPCInjectionCausesControlFlowError(t *testing.T) {
+	c, _ := load(t, thor.DefaultConfig(), `
+		ldi r1, 1
+		ldi r2, 2
+		halt
+	`)
+	c.Step()
+	v := c.ScanRead()
+	f, _ := thor.ScanFieldByName("cpu.pc")
+	// Set a high PC bit: lands outside memory -> memory-range EDM.
+	v.Flip(f.Offset + 20)
+	if err := c.ScanWrite(v); err != nil {
+		t.Fatal(err)
+	}
+	if st := run(t, c); st != thor.StatusDetected {
+		t.Fatalf("status = %v, want detected", st)
+	}
+	if got := c.Detection().Mechanism; got != thor.EDMMemRange {
+		t.Errorf("mechanism = %v, want memory-range", got)
+	}
+}
+
+func TestBoundaryReadLayout(t *testing.T) {
+	layout := thor.BoundaryPinLayout()
+	off := 0
+	for _, f := range layout {
+		if f.Offset != off {
+			t.Fatalf("boundary field %s at %d, expected %d", f.Name, f.Offset, off)
+		}
+		off = f.End()
+	}
+	if off != thor.BoundaryLen() {
+		t.Fatalf("boundary layout ends at %d, BoundaryLen = %d", off, thor.BoundaryLen())
+	}
+}
+
+func TestBoundaryWriteForcesDataPins(t *testing.T) {
+	// Force data-in bit 0 high: every load gets bit 0 set.
+	c, prog := load(t, thor.DefaultConfig(), `
+		la r1, var
+		ld r2, [r1]
+		la r3, out
+		st [r3], r2
+		halt
+	var:
+		.word 8
+	out:
+		.word 0
+	`)
+	v := c.BoundaryRead()
+	v.SetUint64(32, 32, 1) // data_in value: bit 0 = 1
+	if err := c.BoundaryWrite(v, 0x1, 0); err != nil {
+		t.Fatal(err)
+	}
+	run(t, c)
+	w, _ := c.ReadWord32(prog.MustSymbol("out"))
+	if w != 9 {
+		t.Errorf("loaded-with-forced-pin value = %d, want 9", w)
+	}
+	// Clearing the force restores normal reads.
+	c2 := thor.New(thor.DefaultConfig())
+	p2, _ := asm.Assemble("ld r1, [r2]\nhalt")
+	if err := c2.LoadMemory(0, p2.Image); err != nil {
+		t.Fatal(err)
+	}
+	v2 := c2.BoundaryRead()
+	if err := c2.BoundaryWrite(v2, 0xFFFF_FFFF, 0); err != nil {
+		t.Fatal(err)
+	}
+	c2.ClearBoundaryForce()
+	run(t, c2)
+	// r1 loads mem[0], which is the LD instruction word itself; with the
+	// force cleared it must equal the real word, not a forced value.
+	want, err := c2.ReadWord32(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Regs[1] != want {
+		t.Errorf("r1 = %#x after force cleared, want %#x", c2.Regs[1], want)
+	}
+}
+
+func TestBoundaryWriteLengthMismatch(t *testing.T) {
+	c := thor.New(thor.DefaultConfig())
+	if err := c.BoundaryWrite(c.ScanRead(), 1, 0); err == nil {
+		t.Error("BoundaryWrite with wrong-length vector did not error")
+	}
+}
+
+// Property-flavoured test: random single bit-flips in the register file via
+// the scan chain either change state or are masked, but never corrupt the
+// simulator itself (no panics), and the outcome is deterministic per seed.
+func TestScanRandomRegisterFlipsDeterministic(t *testing.T) {
+	src := `
+		ldi r1, 0
+		ldi r2, 1
+	loop:
+		add r1, r1, r2
+		addi r2, r2, 1
+		cmpi r2, 30
+		blt loop
+		halt
+	`
+	runOnce := func(seed int64) (thor.Status, uint32, uint64) {
+		c, _ := load(t, thor.DefaultConfig(), src)
+		rng := rand.New(rand.NewSource(seed))
+		steps := rng.Intn(50) + 1
+		for i := 0; i < steps; i++ {
+			c.Step()
+		}
+		v := c.ScanRead()
+		reg := rng.Intn(thor.NumRegs)
+		f, err := thor.ScanFieldByName(regName(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Flip(f.Offset + rng.Intn(32))
+		if err := c.ScanWrite(v); err != nil {
+			t.Fatal(err)
+		}
+		st := c.Run(100_000)
+		return st, c.Regs[1], c.Cycle()
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		st1, r1a, cy1 := runOnce(seed)
+		st2, r1b, cy2 := runOnce(seed)
+		if st1 != st2 || r1a != r1b || cy1 != cy2 {
+			t.Errorf("seed %d nondeterministic: (%v,%d,%d) vs (%v,%d,%d)",
+				seed, st1, r1a, cy1, st2, r1b, cy2)
+		}
+	}
+}
+
+func regName(i int) string {
+	return fmt.Sprintf("cpu.r%d", i)
+}

@@ -1,0 +1,251 @@
+package trigger
+
+import (
+	"strings"
+	"testing"
+
+	"goofi/internal/asm"
+	"goofi/internal/thor"
+)
+
+const loopSrc = `
+	ldi r1, 0
+	la r2, var
+loop:
+	ld r3, [r2]       ; data read of var each iteration
+	addi r3, r3, 1
+	st [r2], r3       ; data write of var
+	addi r1, r1, 1
+	cmpi r1, 20
+	blt loop
+	call fin
+	halt
+fin:
+	ret
+var:
+	.word 0
+`
+
+func loadCPU(t *testing.T) (*thor.CPU, *asm.Program) {
+	t.Helper()
+	prog, err := asm.Assemble(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := thor.New(thor.DefaultConfig())
+	if err := c.LoadMemory(0, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	return c, prog
+}
+
+func build(t *testing.T, s Spec) Trigger {
+	t.Helper()
+	tr, err := s.Build()
+	if err != nil {
+		t.Fatalf("Build(%+v): %v", s, err)
+	}
+	return tr
+}
+
+func TestCycleTrigger(t *testing.T) {
+	c, _ := loadCPU(t)
+	tr := build(t, Spec{Kind: "cycle", Cycle: 50})
+	fired, _ := RunUntil(c, tr, 1_000_000)
+	if !fired {
+		t.Fatal("cycle trigger never fired")
+	}
+	if c.Cycle() < 50 {
+		t.Errorf("fired at cycle %d, want >= 50", c.Cycle())
+	}
+	if c.Status() != thor.StatusRunning {
+		t.Errorf("status = %v, want running (stopped before instruction)", c.Status())
+	}
+}
+
+func TestInstretTrigger(t *testing.T) {
+	c, _ := loadCPU(t)
+	tr := build(t, Spec{Kind: "instret", Count: 10})
+	fired, _ := RunUntil(c, tr, 1_000_000)
+	if !fired || c.Instret() != 10 {
+		t.Errorf("fired=%v at instret=%d, want fired at exactly 10", fired, c.Instret())
+	}
+}
+
+func TestBreakpointTriggerOccurrences(t *testing.T) {
+	c, prog := loadCPU(t)
+	loopAddr := prog.MustSymbol("loop")
+	tr := build(t, Spec{Kind: "breakpoint", Addr: loopAddr, Occurrence: 3})
+	fired, _ := RunUntil(c, tr, 1_000_000)
+	if !fired {
+		t.Fatal("breakpoint trigger never fired")
+	}
+	if c.PC != loopAddr {
+		t.Errorf("PC = %#x, want %#x", c.PC, loopAddr)
+	}
+	// Third arrival at the loop head: two iterations completed, so the
+	// counter variable r1 is 2.
+	if c.Regs[1] != 2 {
+		t.Errorf("r1 = %d at 3rd loop-head arrival, want 2", c.Regs[1])
+	}
+}
+
+func TestDataAccessTriggerReadAndWrite(t *testing.T) {
+	c, prog := loadCPU(t)
+	varAddr := prog.MustSymbol("var")
+	tr := build(t, Spec{Kind: "data-access", Addr: varAddr})
+	fired, _ := RunUntil(c, tr, 1_000_000)
+	if !fired {
+		t.Fatal("data-access trigger never fired")
+	}
+	in := thor.Decode(mustWord(t, c, c.PC))
+	if in.Op != thor.OpLD {
+		t.Errorf("stopped before %v, want the LD", in)
+	}
+
+	// Write-only trigger skips the read and stops at the store.
+	c2, _ := loadCPU(t)
+	tr2 := build(t, Spec{Kind: "data-access", Addr: varAddr, Write: true})
+	fired, _ = RunUntil(c2, tr2, 1_000_000)
+	if !fired {
+		t.Fatal("write trigger never fired")
+	}
+	in = thor.Decode(mustWord(t, c2, c2.PC))
+	if in.Op != thor.OpST {
+		t.Errorf("stopped before %v, want the ST", in)
+	}
+}
+
+func TestTaskSwitchTrigger(t *testing.T) {
+	c, prog := loadCPU(t)
+	tr := build(t, Spec{Kind: "task-switch", Addr: prog.MustSymbol("var"), Occurrence: 2})
+	fired, _ := RunUntil(c, tr, 1_000_000)
+	if !fired {
+		t.Fatal("task-switch trigger never fired")
+	}
+	if !strings.Contains(tr.Name(), "task-switch") {
+		t.Errorf("name = %q", tr.Name())
+	}
+}
+
+func TestBranchTrigger(t *testing.T) {
+	c, _ := loadCPU(t)
+	tr := build(t, Spec{Kind: "branch", Occurrence: 2})
+	fired, _ := RunUntil(c, tr, 1_000_000)
+	if !fired {
+		t.Fatal("branch trigger never fired")
+	}
+	in := thor.Decode(mustWord(t, c, c.PC))
+	if !in.Op.IsBranch() {
+		t.Errorf("stopped before %v, want a branch", in)
+	}
+	// Second branch: one full loop iteration done.
+	if c.Regs[1] != 2 {
+		t.Errorf("r1 = %d before 2nd branch, want 2", c.Regs[1])
+	}
+}
+
+func TestCallTrigger(t *testing.T) {
+	c, _ := loadCPU(t)
+	tr := build(t, Spec{Kind: "call"})
+	fired, _ := RunUntil(c, tr, 1_000_000)
+	if !fired {
+		t.Fatal("call trigger never fired")
+	}
+	in := thor.Decode(mustWord(t, c, c.PC))
+	if in.Op != thor.OpCALL {
+		t.Errorf("stopped before %v, want CALL", in)
+	}
+	// The loop ran to completion before the call.
+	if c.Regs[1] != 20 {
+		t.Errorf("r1 = %d before call, want 20", c.Regs[1])
+	}
+}
+
+func TestRTCTrigger(t *testing.T) {
+	c, _ := loadCPU(t)
+	tr := build(t, Spec{Kind: "rtc", Period: 30, Occurrence: 2})
+	fired, _ := RunUntil(c, tr, 1_000_000)
+	if !fired || c.Cycle() < 60 {
+		t.Errorf("rtc fired=%v at cycle %d, want >= 60", fired, c.Cycle())
+	}
+}
+
+func TestTriggerNeverFires(t *testing.T) {
+	c, _ := loadCPU(t)
+	tr := build(t, Spec{Kind: "breakpoint", Addr: 0xFFFC})
+	fired, st := RunUntil(c, tr, 1_000_000)
+	if fired {
+		t.Error("unreachable breakpoint fired")
+	}
+	if st != thor.StatusHalted {
+		t.Errorf("status = %v, want halted", st)
+	}
+}
+
+func TestRunUntilBudget(t *testing.T) {
+	c, _ := loadCPU(t)
+	tr := build(t, Spec{Kind: "cycle", Cycle: 1_000_000})
+	fired, st := RunUntil(c, tr, 10)
+	if fired {
+		t.Error("trigger fired within tiny budget")
+	}
+	if st != thor.StatusRunning {
+		t.Errorf("status = %v, want running (budget exhausted)", st)
+	}
+}
+
+func TestTriggerReset(t *testing.T) {
+	c, prog := loadCPU(t)
+	tr := build(t, Spec{Kind: "breakpoint", Addr: prog.MustSymbol("loop"), Occurrence: 2})
+	fired, _ := RunUntil(c, tr, 1_000_000)
+	if !fired {
+		t.Fatal("first run did not fire")
+	}
+	// Fresh CPU, reset trigger: occurrence counting starts over.
+	c2, _ := loadCPU(t)
+	tr.Reset()
+	fired, _ = RunUntil(c2, tr, 1_000_000)
+	if !fired {
+		t.Fatal("trigger did not fire after Reset")
+	}
+	if c2.Regs[1] != 1 {
+		t.Errorf("r1 = %d, want 1 (occurrence state leaked across Reset)", c2.Regs[1])
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := (Spec{Kind: "bogus"}).Build(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := (Spec{Kind: "rtc"}).Build(); err == nil {
+		t.Error("rtc without period accepted")
+	}
+}
+
+func TestTriggerNames(t *testing.T) {
+	specs := []Spec{
+		{Kind: "cycle", Cycle: 5},
+		{Kind: "instret", Count: 5},
+		{Kind: "breakpoint", Addr: 16},
+		{Kind: "data-access", Addr: 16, Write: true},
+		{Kind: "branch"},
+		{Kind: "call"},
+		{Kind: "rtc", Period: 10},
+	}
+	for _, s := range specs {
+		tr := build(t, s)
+		if tr.Name() == "" {
+			t.Errorf("empty name for %+v", s)
+		}
+	}
+}
+
+func mustWord(t *testing.T, c *thor.CPU, addr uint32) uint32 {
+	t.Helper()
+	w, err := c.ReadWord32(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

@@ -1,0 +1,146 @@
+package workload
+
+import "goofi/internal/campaign"
+
+// Checksum is a single-pass weighted checksum over 16 data words — the
+// unhardened baseline for the TMR comparison. Result: "result".
+func Checksum() campaign.WorkloadSpec {
+	return campaign.WorkloadSpec{
+		Name:          "csum",
+		Source:        checksumSource,
+		InputPort:     PortIn,
+		OutputPort:    PortOut,
+		ResultSymbols: []string{"result"},
+	}
+}
+
+const checksumSource = `
+; result = sum(data[i] * (i+1)) over 16 words.
+	.equ N, 16
+	call compute
+	la r2, result
+	st [r2], r1
+	out 1, r1
+	halt
+compute:
+	ldi r1, 0          ; acc
+	ldi r2, 0          ; i
+closs:
+	cmpi r2, N
+	bge cdone
+	kick
+	la r3, data
+	shli r4, r2, 2
+	add r3, r3, r4
+	ld r3, [r3]
+	addi r4, r2, 1
+	mul r3, r3, r4
+	add r1, r1, r3
+	addi r2, r2, 1
+	bra closs
+cdone:
+	ret
+data:
+	.word 170, 45, 75, 90, 802, 24, 2, 66
+	.word 181, 3, 401, 129, 33, 256, 7, 512
+result:
+	.word 0
+`
+
+// ChecksumTMR is the checksum hardened by software triple modular
+// redundancy in time: the computation runs three times and the outputs
+// are majority-voted. A transient fault corrupting one replica is masked;
+// only two corrupted replicas (or a corrupted vote) can escape. If all
+// three disagree, the unrecoverable-state assertion fires. Result:
+// "result" (the "masked" diagnostic symbol exists in the image but is
+// deliberately not a compared result — a successful mask is correct
+// behaviour, not a failure).
+func ChecksumTMR() campaign.WorkloadSpec {
+	return campaign.WorkloadSpec{
+		Name:          "csum-tmr",
+		Source:        checksumTMRSource,
+		InputPort:     PortIn,
+		OutputPort:    PortOut,
+		ResultSymbols: []string{"result"},
+	}
+}
+
+const checksumTMRSource = `
+; Triple-redundant weighted checksum with majority vote.
+	.equ N, 16
+	call compute
+	la r2, c1
+	st [r2], r1
+	call compute
+	la r2, c2
+	st [r2], r1
+	call compute
+	la r2, c3
+	st [r2], r1
+	; majority vote
+	la r2, c1
+	ld r5, [r2]        ; c1
+	la r2, c2
+	ld r6, [r2]        ; c2
+	la r2, c3
+	ld r7, [r2]        ; c3
+	cmp r5, r6
+	beq agree12
+	cmp r5, r7
+	beq agree13
+	cmp r6, r7
+	beq agree23
+	trap 1             ; all three disagree: unrecoverable
+agree12:
+	; c1 == c2: if c3 differs, the vote masked a replica fault.
+	mov r1, r5
+	cmp r5, r7
+	beq store
+	bra mask
+agree13:
+	mov r1, r5
+	bra mask
+agree23:
+	mov r1, r6
+	bra mask
+mask:
+	ldi r3, 1
+	la r2, masked
+	st [r2], r3
+store:
+	la r2, result
+	st [r2], r1
+	out 1, r1
+	halt
+compute:
+	ldi r1, 0          ; acc
+	ldi r2, 0          ; i
+closs:
+	cmpi r2, N
+	bge cdone
+	kick
+	la r3, data
+	shli r4, r2, 2
+	add r3, r3, r4
+	ld r3, [r3]
+	addi r4, r2, 1
+	mul r3, r3, r4
+	add r1, r1, r3
+	addi r2, r2, 1
+	bra closs
+cdone:
+	ret
+data:
+	.word 170, 45, 75, 90, 802, 24, 2, 66
+	.word 181, 3, 401, 129, 33, 256, 7, 512
+c1:
+	.word 0
+c2:
+	.word 0
+c3:
+	.word 0
+masked:
+	.word 0
+result:
+	.word 0
+`

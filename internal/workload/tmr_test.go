@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"goofi/internal/thor"
+)
+
+// hostChecksum computes the expected weighted checksum.
+func hostChecksum() int32 {
+	data := []int32{170, 45, 75, 90, 802, 24, 2, 66, 181, 3, 401, 129, 33, 256, 7, 512}
+	var cs int32
+	for i, v := range data {
+		cs += v * int32(i+1)
+	}
+	return cs
+}
+
+func TestChecksumMatchesHost(t *testing.T) {
+	spec := Checksum()
+	c, prog := runBatch(t, spec.Name, spec.Source)
+	got := readWords(t, c, prog.MustSymbol("result"), 1)[0]
+	if got != hostChecksum() {
+		t.Errorf("result = %d, want %d", got, hostChecksum())
+	}
+}
+
+func TestChecksumTMRFaultFree(t *testing.T) {
+	spec := ChecksumTMR()
+	c, prog := runBatch(t, spec.Name, spec.Source)
+	got := readWords(t, c, prog.MustSymbol("result"), 1)[0]
+	if got != hostChecksum() {
+		t.Errorf("result = %d, want %d", got, hostChecksum())
+	}
+	masked := readWords(t, c, prog.MustSymbol("masked"), 1)[0]
+	if masked != 0 {
+		t.Errorf("fault-free run reports masking: %d", masked)
+	}
+}
+
+func TestChecksumTMRMasksSingleReplicaCorruption(t *testing.T) {
+	// Corrupt replica c1 after its computation (simulating a transient
+	// fault during the first pass): the vote must output the agreeing
+	// pair and flag the mask.
+	spec := ChecksumTMR()
+	c, prog := runBatch(t, spec.Name, spec.Source) // fault-free first, to find c1 write time
+	_ = c
+
+	// Re-run, stopping right after c1 is stored, then corrupt it.
+	c2 := thor.New(thor.DefaultConfig())
+	prog2 := prog
+	if err := c2.LoadMemory(0, prog2.Image); err != nil {
+		t.Fatal(err)
+	}
+	c1Addr := prog2.MustSymbol("c1")
+	for i := 0; i < 2_000_000; i++ {
+		st := c2.Step()
+		if st != thor.StatusRunning {
+			t.Fatalf("halted before c1 written: %v", st)
+		}
+		w, err := c2.ReadWord32(c1Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != 0 {
+			break // c1 stored
+		}
+	}
+	if err := c2.WriteWord32(c1Addr, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Run(2_000_000); st != thor.StatusHalted {
+		t.Fatalf("status = %v (detection %+v)", st, c2.Detection())
+	}
+	result, err := c2.ReadWord32(prog2.MustSymbol("result"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(result) != hostChecksum() {
+		t.Errorf("vote output = %d, want %d (replica fault not masked)", int32(result), hostChecksum())
+	}
+	masked, err := c2.ReadWord32(prog2.MustSymbol("masked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked != 1 {
+		t.Errorf("masked flag = %d, want 1", masked)
+	}
+}
+
+func TestChecksumTMRAllDisagreeTraps(t *testing.T) {
+	// Corrupt two replicas differently: no majority, the unrecoverable
+	// assertion must fire.
+	spec := ChecksumTMR()
+	prog, err := assembleSpec(spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := thor.New(thor.DefaultConfig())
+	if err := c.LoadMemory(0, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	c2Addr := prog.MustSymbol("c2")
+	c3Addr := prog.MustSymbol("c3")
+	for i := 0; i < 2_000_000; i++ {
+		st := c.Step()
+		if st != thor.StatusRunning {
+			t.Fatalf("stopped early: %v", st)
+		}
+		w, err := c.ReadWord32(c3Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != 0 {
+			break // all three replicas stored
+		}
+	}
+	if err := c.WriteWord32(c2Addr, 111); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteWord32(c3Addr, 222); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Run(2_000_000); st != thor.StatusDetected {
+		t.Fatalf("status = %v, want detected (vote deadlock)", st)
+	}
+	if c.Detection().Mechanism != thor.EDMAssertion {
+		t.Errorf("mechanism = %v", c.Detection().Mechanism)
+	}
+}

@@ -1,0 +1,421 @@
+// Package workload provides the built-in target system workloads: batch
+// programs (sort, matrix multiply, FIR filter) and the closed-loop PID
+// control application — with and without executable assertions and
+// best-effort recovery — that reproduces the control software evaluated
+// with GOOFI on the Thor processor in the companion study [12].
+//
+// Workloads are THOR-S assembly source; campaigns store the source so the
+// database stays portable across hosts.
+package workload
+
+import "goofi/internal/campaign"
+
+// Port assignment shared by all built-in workloads.
+const (
+	// PortIn is the input port carrying sensor/setpoint data.
+	PortIn uint16 = 0
+	// PortOut is the output port carrying actuator commands/results.
+	PortOut uint16 = 1
+)
+
+// Sort is an in-place insertion sort over 16 words followed by a
+// checksum. Results: "arr" (the sorted array) and "checksum".
+func Sort() campaign.WorkloadSpec {
+	return campaign.WorkloadSpec{
+		Name:          "sort16",
+		Source:        sortSource,
+		InputPort:     PortIn,
+		OutputPort:    PortOut,
+		ResultSymbols: []string{"arr", "checksum"},
+		ResultWords:   16,
+	}
+}
+
+const sortSource = `
+; Insertion sort of 16 words at arr, then checksum := sum(arr[i]*(i+1)).
+	.equ N, 16
+	ldi r1, 1          ; i
+outer:
+	kick
+	cmpi r1, N
+	bge sorted
+	la r2, arr
+	shli r3, r1, 2
+	add r2, r2, r3     ; &arr[i]
+	ld r4, [r2]        ; key
+	mov r5, r1         ; j
+inner:
+	cmpi r5, 0
+	ble place
+	la r2, arr
+	shli r3, r5, 2
+	add r2, r2, r3
+	ld r6, [r2-4]      ; arr[j-1]
+	cmp r6, r4
+	ble place
+	st [r2], r6        ; arr[j] = arr[j-1]
+	subi r5, r5, 1
+	bra inner
+place:
+	la r2, arr
+	shli r3, r5, 2
+	add r2, r2, r3
+	st [r2], r4        ; arr[j] = key
+	addi r1, r1, 1
+	bra outer
+sorted:
+	ldi r1, 0          ; i
+	ldi r7, 0          ; sum
+csloop:
+	cmpi r1, N
+	bge csdone
+	la r2, arr
+	shli r3, r1, 2
+	add r2, r2, r3
+	ld r4, [r2]
+	addi r5, r1, 1
+	mul r4, r4, r5
+	add r7, r7, r4
+	addi r1, r1, 1
+	bra csloop
+csdone:
+	la r2, checksum
+	st [r2], r7
+	out 1, r7
+	halt
+arr:
+	.word 170, 45, 75, 90, 802, 24, 2, 66
+	.word 181, 3, 401, 129, 33, 256, 7, 512
+checksum:
+	.word 0
+`
+
+// MatMul multiplies two 4x4 integer matrices. Result: "mc" (16 words).
+func MatMul() campaign.WorkloadSpec {
+	return campaign.WorkloadSpec{
+		Name:          "matmul4",
+		Source:        matmulSource,
+		InputPort:     PortIn,
+		OutputPort:    PortOut,
+		ResultSymbols: []string{"mc"},
+		ResultWords:   16,
+	}
+}
+
+const matmulSource = `
+; mc = ma * mb for 4x4 integer matrices.
+	.equ N, 4
+	ldi r1, 0          ; i
+iloop:
+	cmpi r1, N
+	bge done
+	kick
+	ldi r2, 0          ; j
+jloop:
+	cmpi r2, N
+	bge inext
+	ldi r3, 0          ; k
+	ldi r4, 0          ; acc
+kloop:
+	cmpi r3, N
+	bge kdone
+	; r5 = ma[i*N+k]
+	shli r5, r1, 2
+	add r5, r5, r3
+	shli r5, r5, 2
+	la r6, ma
+	add r6, r6, r5
+	ld r5, [r6]
+	; r6 = mb[k*N+j]
+	shli r6, r3, 2
+	add r6, r6, r2
+	shli r6, r6, 2
+	la r7, mb
+	add r7, r7, r6
+	ld r6, [r7]
+	mul r5, r5, r6
+	add r4, r4, r5
+	addi r3, r3, 1
+	bra kloop
+kdone:
+	; mc[i*N+j] = acc
+	shli r5, r1, 2
+	add r5, r5, r2
+	shli r5, r5, 2
+	la r6, mc
+	add r6, r6, r5
+	st [r6], r4
+	addi r2, r2, 1
+	bra jloop
+inext:
+	addi r1, r1, 1
+	bra iloop
+done:
+	la r6, mc
+	ld r7, [r6]
+	out 1, r7
+	halt
+ma:
+	.word 1, 2, 3, 4
+	.word 5, 6, 7, 8
+	.word 9, 10, 11, 12
+	.word 13, 14, 15, 16
+mb:
+	.word 17, 18, 19, 20
+	.word 21, 22, 23, 24
+	.word 25, 26, 27, 28
+	.word 29, 30, 31, 32
+mc:
+	.space 64
+`
+
+// FIR applies an 8-tap moving-average style filter over 24 samples.
+// Result: "output" (24 words).
+func FIR() campaign.WorkloadSpec {
+	return campaign.WorkloadSpec{
+		Name:          "fir8",
+		Source:        firSource,
+		InputPort:     PortIn,
+		OutputPort:    PortOut,
+		ResultSymbols: []string{"output"},
+		ResultWords:   24,
+	}
+}
+
+const firSource = `
+; output[n] = sum_{t<8, t<=n} coef[t]*input[n-t] / 16
+	.equ NS, 24
+	.equ NT, 8
+	ldi r1, 0          ; n
+nloop:
+	cmpi r1, NS
+	bge done
+	kick
+	ldi r2, 0          ; t
+	ldi r3, 0          ; acc
+tloop:
+	cmpi r2, NT
+	bge tdone
+	cmp r2, r1
+	bgt tdone          ; t > n: stop (no negative history)
+	; r4 = input[n-t]
+	sub r4, r1, r2
+	shli r4, r4, 2
+	la r5, input
+	add r5, r5, r4
+	ld r4, [r5]
+	; r5 = coef[t]
+	shli r5, r2, 2
+	la r6, coef
+	add r6, r6, r5
+	ld r5, [r6]
+	mul r4, r4, r5
+	add r3, r3, r4
+	addi r2, r2, 1
+	bra tloop
+tdone:
+	ldi r4, 16
+	div r3, r3, r4
+	shli r4, r1, 2
+	la r5, output
+	add r5, r5, r4
+	st [r5], r3
+	addi r1, r1, 1
+	bra nloop
+done:
+	la r5, output
+	ld r7, [r5]
+	out 1, r7
+	halt
+coef:
+	.word 1, 2, 3, 4, 4, 3, 2, 1
+input:
+	.word 100, 102, 98, 97, 105, 110, 95, 90
+	.word 120, 80, 100, 100, 100, 140, 60, 100
+	.word 100, 100, 30, 170, 100, 100, 101, 99
+output:
+	.space 96
+`
+
+// PID is the closed-loop PI controller: each iteration reads sensor and
+// setpoint from the input port (Q8.8 fixed point), computes the command,
+// writes it to the output port, and signals the iteration boundary.
+// Results: "last_u" and "acc" for latent-error observation. Runs as an
+// infinite loop; campaigns bound it with Termination.MaxIterations.
+func PID() campaign.WorkloadSpec {
+	return campaign.WorkloadSpec{
+		Name:          "pid-control",
+		Source:        pidSource,
+		InputPort:     PortIn,
+		OutputPort:    PortOut,
+		ResultSymbols: []string{"last_u", "acc"},
+		ResultWords:   1,
+	}
+}
+
+const pidSource = `
+; PI controller in Q8.8: u = (Kp*e + Ki*acc) / 256, acc clamped.
+	.equ KP, 128       ; 0.5 in Q8.8
+	.equ KI, 26        ; ~0.1 in Q8.8
+	.equ ACCMAX, 512000
+	.equ NACCMAX, -512000
+	ldi r4, 0          ; acc
+loop:
+	kick
+	in r1, 0           ; sensor (Q8.8)
+	in r2, 0           ; setpoint (Q8.8)
+	sub r3, r2, r1     ; e
+	add r4, r4, r3     ; acc += e
+	la r6, ACCMAX
+	cmp r4, r6
+	ble clampok1
+	mov r4, r6
+clampok1:
+	la r6, NACCMAX
+	cmp r4, r6
+	bge clampok2
+	mov r4, r6
+clampok2:
+	ldi r6, KP
+	mul r5, r3, r6     ; Kp*e
+	ldi r6, KI
+	mul r6, r4, r6     ; Ki*acc
+	add r5, r5, r6
+	ldi r7, 256
+	div r5, r5, r7     ; /256 (signed)
+	la r6, last_u
+	st [r6], r5
+	la r6, acc
+	st [r6], r4
+	out 1, r5
+	trap 2             ; iteration boundary: environment exchange
+	bra loop
+last_u:
+	.word 0
+acc:
+	.word 0
+`
+
+// PIDAssert is the PID controller hardened with executable assertions and
+// best-effort recovery, the mechanism evaluated in [12]: the command and
+// integrator are bound-checked each iteration; a violation raises the
+// assertion trap, whose handler restores a safe state (integrator reset,
+// proportional-only command) and continues.
+func PIDAssert() campaign.WorkloadSpec {
+	return campaign.WorkloadSpec{
+		Name:          "pid-control-assert",
+		Source:        pidAssertSource,
+		InputPort:     PortIn,
+		OutputPort:    PortOut,
+		ResultSymbols: []string{"last_u", "acc"},
+		ResultWords:   1,
+		RecoveryHandlers: map[uint16]string{
+			1: "recover", // TrapAssertFail -> best-effort recovery
+		},
+	}
+}
+
+const pidAssertSource = `
+; PI controller with executable assertions and best-effort recovery.
+	.equ KP, 128
+	.equ KI, 26
+	.equ ACCMAX, 512000
+	.equ NACCMAX, -512000
+	.equ UMAX, 30000   ; |u| plausibility bound (Q8.8)
+	.equ NUMAX, -30000
+	.equ EMAX, 31000   ; |e| plausibility bound
+	.equ NEMAX, -31000
+	ldi r4, 0          ; acc
+loop:
+	kick
+	in r1, 0           ; sensor
+	in r2, 0           ; setpoint
+	sub r3, r2, r1     ; e
+	; assertion: |e| <= EMAX (sensor plausibility)
+	ldi r6, EMAX
+	cmp r3, r6
+	bgt assert_fail
+	ldi r6, NEMAX
+	cmp r3, r6
+	blt assert_fail
+	add r4, r4, r3
+	la r6, ACCMAX
+	cmp r4, r6
+	ble c1
+	mov r4, r6
+c1:
+	la r6, NACCMAX
+	cmp r4, r6
+	bge c2
+	mov r4, r6
+c2:
+	ldi r6, KP
+	mul r5, r3, r6
+	ldi r6, KI
+	mul r6, r4, r6
+	add r5, r5, r6
+	ldi r7, 256
+	div r5, r5, r7
+	; assertion: |u| <= UMAX (command plausibility)
+	ldi r6, UMAX
+	cmp r5, r6
+	bgt assert_fail
+	ldi r6, NUMAX
+	cmp r5, r6
+	blt assert_fail
+	la r6, last_u
+	st [r6], r5
+	la r6, acc
+	st [r6], r4
+	out 1, r5
+	trap 2
+	bra loop
+assert_fail:
+	trap 1             ; handled by "recover" (best-effort recovery)
+	bra loop           ; unreachable when a handler is installed
+recover:
+	; Best-effort recovery [12]: reset the integrator and emit a
+	; proportional-only command from a re-read sensor value.
+	ldi r4, 0
+	in r1, 0
+	in r2, 0
+	sub r3, r2, r1
+	ldi r6, KP
+	mul r5, r3, r6
+	ldi r7, 256
+	div r5, r5, r7
+	; clamp the recovery command hard
+	ldi r6, UMAX
+	cmp r5, r6
+	ble r1ok
+	mov r5, r6
+r1ok:
+	ldi r6, NUMAX
+	cmp r5, r6
+	bge r2ok
+	mov r5, r6
+r2ok:
+	la r6, last_u
+	st [r6], r5
+	la r6, acc
+	st [r6], r4
+	out 1, r5
+	trap 2
+	bra loop
+last_u:
+	.word 0
+acc:
+	.word 0
+`
+
+// All returns every built-in workload spec by name.
+func All() map[string]campaign.WorkloadSpec {
+	specs := []campaign.WorkloadSpec{
+		Sort(), MatMul(), FIR(), PID(), PIDAssert(), Checksum(), ChecksumTMR(),
+	}
+	out := make(map[string]campaign.WorkloadSpec, len(specs))
+	for _, s := range specs {
+		out[s.Name] = s
+	}
+	return out
+}

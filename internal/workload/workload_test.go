@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"goofi/internal/asm"
+	"goofi/internal/thor"
+)
+
+// runBatch assembles and runs a batch workload to HALT.
+func runBatch(t *testing.T, name, source string) (*thor.CPU, *asm.Program) {
+	t.Helper()
+	prog, err := asm.Assemble(source)
+	if err != nil {
+		t.Fatalf("assemble %s: %v", name, err)
+	}
+	c := thor.New(thor.DefaultConfig())
+	if err := c.LoadMemory(0, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Run(5_000_000); st != thor.StatusHalted {
+		t.Fatalf("%s status = %v (detection %+v)", name, st, c.Detection())
+	}
+	return c, prog
+}
+
+func readWords(t *testing.T, c *thor.CPU, addr uint32, n int) []int32 {
+	t.Helper()
+	out := make([]int32, n)
+	for i := range out {
+		w, err := c.ReadWord32(addr + uint32(4*i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = int32(w)
+	}
+	return out
+}
+
+func TestSortProducesSortedArray(t *testing.T) {
+	spec := Sort()
+	c, prog := runBatch(t, spec.Name, spec.Source)
+	got := readWords(t, c, prog.MustSymbol("arr"), 16)
+	want := []int32{170, 45, 75, 90, 802, 24, 2, 66, 181, 3, 401, 129, 33, 256, 7, 512}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("arr[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Checksum matches the host-computed weighted sum.
+	var cs int32
+	for i, v := range want {
+		cs += v * int32(i+1)
+	}
+	gotCS := readWords(t, c, prog.MustSymbol("checksum"), 1)[0]
+	if gotCS != cs {
+		t.Errorf("checksum = %d, want %d", gotCS, cs)
+	}
+}
+
+func TestMatMulMatchesHost(t *testing.T) {
+	spec := MatMul()
+	c, prog := runBatch(t, spec.Name, spec.Source)
+	got := readWords(t, c, prog.MustSymbol("mc"), 16)
+	var ma, mb [4][4]int32
+	v := int32(1)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			ma[i][j] = v
+			v++
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			mb[i][j] = v
+			v++
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var acc int32
+			for k := 0; k < 4; k++ {
+				acc += ma[i][k] * mb[k][j]
+			}
+			if got[i*4+j] != acc {
+				t.Errorf("mc[%d][%d] = %d, want %d", i, j, got[i*4+j], acc)
+			}
+		}
+	}
+}
+
+func TestFIRMatchesHost(t *testing.T) {
+	spec := FIR()
+	c, prog := runBatch(t, spec.Name, spec.Source)
+	got := readWords(t, c, prog.MustSymbol("output"), 24)
+	coef := []int32{1, 2, 3, 4, 4, 3, 2, 1}
+	input := []int32{100, 102, 98, 97, 105, 110, 95, 90,
+		120, 80, 100, 100, 100, 140, 60, 100,
+		100, 100, 30, 170, 100, 100, 101, 99}
+	for n := 0; n < 24; n++ {
+		var acc int32
+		for tap := 0; tap < 8 && tap <= n; tap++ {
+			acc += coef[tap] * input[n-tap]
+		}
+		acc /= 16
+		if got[n] != acc {
+			t.Errorf("output[%d] = %d, want %d", n, got[n], acc)
+		}
+	}
+}
+
+func TestPIDConvergesOnPlant(t *testing.T) {
+	spec := PID()
+	prog, err := asm.Assemble(spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := thor.New(thor.DefaultConfig())
+	if err := c.LoadMemory(0, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	// Host-side plant: first-order, Q8.8 interface (mirrors envsim).
+	x := 0.0
+	setpoint := 100.0
+	exchange := func() {
+		outs := c.Ports().DrainOutput(1)
+		if len(outs) > 0 {
+			u := float64(int32(outs[len(outs)-1])) / 256
+			x += (u - x) / 8
+		}
+		c.Ports().PushInput(0, uint32(int32(x*256)), uint32(int32(setpoint*256)))
+	}
+	exchange() // initial input
+	for iter := 0; iter < 200; iter++ {
+		st := c.Run(1_000_000)
+		if st != thor.StatusIterationEnd {
+			t.Fatalf("iteration %d: status %v (detection %+v)", iter, st, c.Detection())
+		}
+		exchange()
+		if err := c.ResumeIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if x < setpoint*0.9 || x > setpoint*1.1 {
+		t.Errorf("plant state after 200 iterations = %.2f, want ~%.0f", x, setpoint)
+	}
+}
+
+func TestPIDAssertRecoveryPath(t *testing.T) {
+	spec := PIDAssert()
+	prog, err := asm.Assemble(spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := thor.New(thor.DefaultConfig())
+	if err := c.LoadMemory(0, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	c.SetTrapHandler(thor.TrapAssertFail, prog.MustSymbol("recover"))
+	// Feed an implausible sensor value (huge negative error): the
+	// assertion must fire and the recovery path must emit a clamped
+	// command instead of halting.
+	sensor := int32(-32000)
+	c.Ports().PushInput(0, uint32(sensor), uint32(int32(31000)))
+	st := c.Run(1_000_000)
+	if st != thor.StatusIterationEnd {
+		t.Fatalf("status = %v (detection %+v)", st, c.Detection())
+	}
+	events := c.Events()
+	if len(events) == 0 || events[0].Mechanism != thor.EDMAssertion {
+		t.Fatalf("expected a recovered assertion event, got %+v", events)
+	}
+	outs := c.Ports().DrainOutput(1)
+	if len(outs) != 1 {
+		t.Fatalf("outputs = %v, want one recovery command", outs)
+	}
+	u := int32(outs[0])
+	if u < -30000 || u > 30000 {
+		t.Errorf("recovery command %d outside clamp", u)
+	}
+}
+
+// assembleSpec assembles a workload source (shared with tmr_test).
+func assembleSpec(source string) (*asm.Program, error) {
+	return asm.Assemble(source)
+}
+
+func TestAllRegistry(t *testing.T) {
+	all := All()
+	for _, name := range []string{"sort16", "matmul4", "fir8", "pid-control", "pid-control-assert", "csum", "csum-tmr"} {
+		spec, ok := all[name]
+		if !ok {
+			t.Errorf("All() missing %q", name)
+			continue
+		}
+		if _, err := asm.Assemble(spec.Source); err != nil {
+			t.Errorf("workload %q does not assemble: %v", name, err)
+		}
+		if len(spec.ResultSymbols) == 0 {
+			t.Errorf("workload %q has no result symbols", name)
+		}
+	}
+}
