@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: tier1 build vet test race bench
+
+# tier1 is the gate every PR must keep green: full build, vet, and the
+# test suite under the race detector.
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test . -run xxx -bench . -benchtime 1x

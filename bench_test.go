@@ -86,13 +86,17 @@ func runCampaign(b *testing.B, st *campaign.Store, tsd *campaign.TargetSystemDat
 	if err := st.DeleteExperiments(camp.Name); err != nil {
 		b.Fatal(err)
 	}
-	opts = append(opts, core.WithStore(st))
+	sink := campaign.NewBatchingSink(st, 0)
+	opts = append(opts, core.WithSink(sink))
 	r, err := core.NewRunner(tgt, alg, camp, tsd, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
 	sum, err := r.Run(context.Background())
 	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
 		b.Fatal(err)
 	}
 	rep, err := analysis.AnalyzeAndStore(st, camp.Name)
@@ -127,21 +131,34 @@ func BenchmarkSCIFIExperiment(b *testing.B) {
 
 // BenchmarkCampaignPID is experiment E1: a SCIFI campaign over the PID
 // control application with the taxonomy fractions reported as metrics.
+// The boards=4 variant runs the same campaign on the worker-pool
+// scheduler with four simulated boards; outcomes are identical by
+// construction (plan-first determinism), only wall clock changes.
 func BenchmarkCampaignPID(b *testing.B) {
 	const n = 40
-	st, tsd := benchStore(b)
-	var rep *analysis.Report
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, rep = runCampaign(b, st, tsd, scifi.New(thor.DefaultConfig()), core.SCIFI,
-			pidCampaign("bench-e1", n, int64(i+1)))
+	for _, boards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("boards=%d", boards), func(b *testing.B) {
+			st, tsd := benchStore(b)
+			var opts []core.RunnerOption
+			if boards > 1 {
+				opts = append(opts, core.WithBoards(boards, func() core.TargetSystem {
+					return scifi.New(thor.DefaultConfig())
+				}))
+			}
+			var rep *analysis.Report
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, rep = runCampaign(b, st, tsd, scifi.New(thor.DefaultConfig()), core.SCIFI,
+					pidCampaign("bench-e1", n, int64(i+1)), opts...)
+			}
+			b.StopTimer()
+			b.ReportMetric(rep.Fraction(analysis.ClassDetected), "detected/inj")
+			b.ReportMetric(rep.Fraction(analysis.ClassEscaped), "escaped/inj")
+			b.ReportMetric(rep.Fraction(analysis.ClassLatent), "latent/inj")
+			b.ReportMetric(rep.Fraction(analysis.ClassOverwritten), "overwritten/inj")
+			b.ReportMetric(rep.Coverage.P, "coverage")
+		})
 	}
-	b.StopTimer()
-	b.ReportMetric(rep.Fraction(analysis.ClassDetected), "detected/inj")
-	b.ReportMetric(rep.Fraction(analysis.ClassEscaped), "escaped/inj")
-	b.ReportMetric(rep.Fraction(analysis.ClassLatent), "latent/inj")
-	b.ReportMetric(rep.Fraction(analysis.ClassOverwritten), "overwritten/inj")
-	b.ReportMetric(rep.Coverage.P, "coverage")
 }
 
 // BenchmarkNormalVsDetailMode is experiment E2: detail-mode logging cost.

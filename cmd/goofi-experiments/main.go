@@ -77,7 +77,7 @@ func execute(st *campaign.Store, tsd *campaign.TargetSystemData,
 	if err := st.PutCampaign(camp); err != nil {
 		return nil, nil, err
 	}
-	opts = append(opts, core.WithStore(st))
+	opts = append(opts, core.WithSink(st))
 	r, err := core.NewRunner(tgt, alg, camp, tsd, opts...)
 	if err != nil {
 		return nil, nil, err

@@ -304,7 +304,11 @@ func cmdRun(args []string) error {
 		}
 	}
 	target := factory()
-	opts := []core.RunnerOption{core.WithStore(st)}
+	// Batch LoggedSystemState writes: the scheduler flushes the sink at
+	// checkpoints and on termination, and Close drains it before save.
+	sink := campaign.NewBatchingSink(st, 0)
+	defer sink.Close()
+	opts := []core.RunnerOption{core.WithSink(sink), core.WithBoards(*boards, factory)}
 	if !*quiet {
 		opts = append(opts, core.WithProgress(progressLine))
 	}
@@ -324,6 +328,9 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
+		if err := sink.Close(); err != nil {
+			return err
+		}
 		if err := db.SaveFile(*dbPath); err != nil {
 			return err
 		}
@@ -333,13 +340,11 @@ func cmdRun(args []string) error {
 	if err := st.DeleteExperiments(camp.Name); err != nil {
 		return err
 	}
-	var sum *core.Summary
-	if *boards > 1 {
-		sum, err = r.RunParallel(context.Background(), *boards, factory)
-	} else {
-		sum, err = r.Run(context.Background())
-	}
+	sum, err := r.Run(context.Background())
 	if err != nil {
+		return err
+	}
+	if err := sink.Close(); err != nil {
 		return err
 	}
 	if err := db.SaveFile(*dbPath); err != nil {

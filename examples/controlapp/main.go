@@ -73,7 +73,7 @@ func runCampaign(store *campaign.Store, camp *campaign.Campaign) (*analysis.Repo
 	}
 	tsd := scifi.TargetSystemData("thor-board")
 	runner, err := core.NewRunner(scifi.New(thor.DefaultConfig()), core.SCIFI, camp, tsd,
-		core.WithStore(store))
+		core.WithSink(store))
 	if err != nil {
 		return nil, err
 	}

@@ -196,7 +196,7 @@ func run() error {
 	if err := store.PutCampaign(camp); err != nil {
 		return err
 	}
-	runner, err := core.NewRunner(newCounterTarget(), core.SCIFI, camp, tsd, core.WithStore(store))
+	runner, err := core.NewRunner(newCounterTarget(), core.SCIFI, camp, tsd, core.WithSink(store))
 	if err != nil {
 		return err
 	}

@@ -83,7 +83,7 @@ func run() error {
 		if err := store.PutCampaign(camp); err != nil {
 			return nil, nil, err
 		}
-		opts := []core.RunnerOption{core.WithStore(store)}
+		opts := []core.RunnerOption{core.WithSink(store)}
 		if filtered {
 			opts = append(opts, core.WithInjectionFilter(liveness.Filter()))
 		}

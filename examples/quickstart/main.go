@@ -62,7 +62,7 @@ func run() error {
 	// Fault injection phase (Fig 2 algorithm, Fig 7 progress).
 	runner, err := core.NewRunner(
 		scifi.New(thor.DefaultConfig()), core.SCIFI, camp, tsd,
-		core.WithStore(store),
+		core.WithSink(store),
 		core.WithProgress(func(ev core.ProgressEvent) {
 			if ev.Phase == "experiment" && ev.Done%20 == 0 {
 				fmt.Printf("  %d/%d experiments done\n", ev.Done, ev.Total)

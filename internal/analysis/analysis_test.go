@@ -51,7 +51,7 @@ func runSortCampaignWithObserve(t *testing.T, name string, n int, seed int64, ob
 		t.Fatal(err)
 	}
 	tgt := scifi.New(thor.DefaultConfig())
-	r, err := core.NewRunner(tgt, core.SCIFI, camp, tsd, core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.SCIFI, camp, tsd, core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}

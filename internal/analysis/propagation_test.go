@@ -43,7 +43,7 @@ func runDetailCampaign(t *testing.T, name string, n int, seed int64) *campaign.S
 	if err := st.PutCampaign(camp); err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.NewRunner(scifi.New(thor.DefaultConfig()), core.SCIFI, camp, tsd, core.WithStore(st))
+	r, err := core.NewRunner(scifi.New(thor.DefaultConfig()), core.SCIFI, camp, tsd, core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}

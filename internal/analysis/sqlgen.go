@@ -30,12 +30,20 @@ const ResultsDDL = `CREATE TABLE IF NOT EXISTS AnalysisResults (
 	FOREIGN KEY (experimentName) REFERENCES LoggedSystemState (experimentName)
 )`
 
+// ResultsCampaignIndex backs the generated queries, which all filter on
+// campaignName equality.
+const ResultsCampaignIndex = `CREATE INDEX IF NOT EXISTS AnalysisResultsByCampaign
+	ON AnalysisResults (campaignName)`
+
 // WriteResults materialises a report's per-experiment details into the
 // AnalysisResults table, replacing earlier results for the campaign.
 func WriteResults(store *campaign.Store, rep *Report) error {
 	db := store.DB()
 	if _, err := db.Exec(ResultsDDL); err != nil {
 		return fmt.Errorf("analysis: create results table: %w", err)
+	}
+	if _, err := db.Exec(ResultsCampaignIndex); err != nil {
+		return fmt.Errorf("analysis: create results index: %w", err)
 	}
 	if _, err := db.Exec(`DELETE FROM AnalysisResults WHERE campaignName = ?`,
 		sqldb.Text(rep.Campaign)); err != nil {

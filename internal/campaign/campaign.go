@@ -264,13 +264,11 @@ type StateVector struct {
 	Outputs map[uint16][]uint32 `json:"outputs,omitempty"`
 }
 
-// Encode serialises the state vector for storage.
+// Encode serialises the state vector for storage. The output is the
+// json.Marshal encoding, produced by the hand-rolled appender in
+// codec.go (this runs once per experiment on the storage hot path).
 func (s *StateVector) Encode() ([]byte, error) {
-	b, err := json.Marshal(s)
-	if err != nil {
-		return nil, fmt.Errorf("campaign: encode state vector: %w", err)
-	}
-	return b, nil
+	return s.appendJSON(make([]byte, 0, 256)), nil
 }
 
 // DecodeStateVector parses a stored state vector.

@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BatchingSink decouples experiment execution from storage latency: result
+// records accumulate in memory and a background goroutine writes them to
+// the Store in transaction-sized multi-row INSERT batches. The scheduler
+// flushes at checkpoints and on termination, so a pause or a finished
+// campaign is always durable.
+//
+// A failed batch poisons the sink: the first error is retained and
+// returned by every later LogExperiment/Flush call, which is how an
+// asynchronous write failure reaches the campaign's error path.
+type BatchingSink struct {
+	store     *Store
+	batchSize int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []*ExperimentRecord
+	pending int // batches handed to the writer, not yet durable
+	err     error
+	closed  bool
+
+	work chan []*ExperimentRecord
+	done chan struct{}
+}
+
+// DefaultBatchSize is how many LoggedSystemState rows a BatchingSink
+// groups into one INSERT unless configured otherwise.
+const DefaultBatchSize = 64
+
+// NewBatchingSink starts a sink over the store. batchSize <= 0 selects
+// DefaultBatchSize. Close (or at least Flush) the sink before reading the
+// campaign's results from the store directly.
+func NewBatchingSink(store *Store, batchSize int) *BatchingSink {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	s := &BatchingSink{
+		store:     store,
+		batchSize: batchSize,
+		work:      make(chan []*ExperimentRecord, 4),
+		done:      make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.writer()
+	return s
+}
+
+func (s *BatchingSink) writer() {
+	defer close(s.done)
+	for batch := range s.work {
+		err := s.store.LogExperimentBatch(batch)
+		s.mu.Lock()
+		if err != nil && s.err == nil {
+			s.err = err
+		}
+		s.pending--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// LogExperiment queues one record. The write happens in the background;
+// an error reported here is a prior batch's failure.
+func (s *BatchingSink) LogExperiment(r *ExperimentRecord) error {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("campaign: sink is closed")
+	}
+	s.buf = append(s.buf, r)
+	if len(s.buf) < s.batchSize {
+		s.mu.Unlock()
+		return nil
+	}
+	batch := s.buf
+	s.buf = nil
+	s.pending++
+	s.mu.Unlock()
+	s.work <- batch
+	return nil
+}
+
+// Flush submits the partial batch and blocks until every queued record is
+// durable (or a write failed).
+func (s *BatchingSink) Flush() error {
+	s.mu.Lock()
+	if len(s.buf) > 0 && !s.closed {
+		batch := s.buf
+		s.buf = nil
+		s.pending++
+		s.mu.Unlock()
+		s.work <- batch
+		s.mu.Lock()
+	}
+	for s.pending > 0 {
+		s.cond.Wait()
+	}
+	err := s.err
+	s.mu.Unlock()
+	return err
+}
+
+// GetExperiment reads a record through the store, flushing first so the
+// sink's own queued writes are visible (read-your-writes).
+func (s *BatchingSink) GetExperiment(name string) (*ExperimentRecord, error) {
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	return s.store.GetExperiment(name)
+}
+
+// Close flushes outstanding records and stops the writer goroutine. The
+// sink rejects further records after Close.
+func (s *BatchingSink) Close() error {
+	err := s.Flush()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return err
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.work)
+	<-s.done
+	return err
+}

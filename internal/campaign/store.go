@@ -3,6 +3,7 @@ package campaign
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"goofi/internal/sqldb"
 )
@@ -13,6 +14,9 @@ import (
 // LoggedSystemState references CampaignData.
 type Store struct {
 	db *sqldb.DB
+	// insertExp is the prepared single-row LoggedSystemState INSERT —
+	// the statement on the storage hot path.
+	insertExp *sqldb.Stmt
 }
 
 // Schema is the DDL of the GOOFI database (Fig 4). Exposed so tools can
@@ -39,6 +43,10 @@ var Schema = []string{
 		stateVector      BLOB NOT NULL,
 		FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName)
 	)`,
+	// Trace() resolves detail steps by parent experiment; campaignName
+	// lookups ride the automatic foreign-key index.
+	`CREATE INDEX IF NOT EXISTS LoggedSystemStateByParent
+		ON LoggedSystemState (parentExperiment)`,
 }
 
 // NewStore initialises the schema on the given database and returns a
@@ -49,7 +57,11 @@ func NewStore(db *sqldb.DB) (*Store, error) {
 			return nil, fmt.Errorf("campaign: init schema: %w", err)
 		}
 	}
-	return &Store{db: db}, nil
+	ins, err := db.Prepare(`INSERT INTO LoggedSystemState VALUES (?, ?, ?, ?, ?, ?)`)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: prepare insert: %w", err)
+	}
+	return &Store{db: db, insertExp: ins}, nil
 }
 
 // DB exposes the underlying database for the analysis phase, which runs
@@ -199,25 +211,64 @@ func (s *Store) MergeCampaigns(newName string, sources ...string) (*Campaign, er
 	return &merged, nil
 }
 
-// LogExperiment stores one LoggedSystemState row.
-func (s *Store) LogExperiment(r *ExperimentRecord) error {
-	data, err := json.Marshal(&r.Data)
-	if err != nil {
-		return fmt.Errorf("campaign: marshal experiment data: %w", err)
-	}
-	state, err := r.State.Encode()
-	if err != nil {
-		return err
-	}
+// encodeExperimentRow flattens a record into the six LoggedSystemState
+// column values.
+func encodeExperimentRow(r *ExperimentRecord, out []sqldb.Value) ([]sqldb.Value, error) {
+	// One allocation for both blobs; the full-capacity slice expression
+	// keeps a state append from clobbering data's backing array.
+	buf := r.Data.appendJSON(make([]byte, 0, 512))
+	n := len(buf)
+	buf = r.State.appendJSON(buf)
+	data, state := buf[:n:n], buf[n:]
 	parent := sqldb.Null()
 	if r.Parent != "" {
 		parent = sqldb.Text(r.Parent)
 	}
-	_, err = s.db.Exec(`INSERT INTO LoggedSystemState VALUES (?, ?, ?, ?, ?, ?)`,
+	return append(out,
 		sqldb.Text(r.Name), parent, sqldb.Text(r.Campaign), sqldb.Int(int64(r.Step)),
-		sqldb.Blob(data), sqldb.Blob(state))
+		sqldb.Blob(data), sqldb.Blob(state)), nil
+}
+
+// LogExperiment stores one LoggedSystemState row.
+func (s *Store) LogExperiment(r *ExperimentRecord) error {
+	args, err := encodeExperimentRow(r, make([]sqldb.Value, 0, 6))
+	if err != nil {
+		return err
+	}
+	_, err = s.insertExp.Exec(args...)
 	return err
 }
+
+// LogExperimentBatch stores many LoggedSystemState rows with one
+// multi-row INSERT — one parse, one lock acquisition, one constraint pass
+// per batch. This is the storage hot path for high-throughput campaigns.
+func (s *Store) LogExperimentBatch(recs []*ExperimentRecord) error {
+	switch len(recs) {
+	case 0:
+		return nil
+	case 1:
+		return s.LogExperiment(recs[0])
+	}
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO LoggedSystemState VALUES `)
+	args := make([]sqldb.Value, 0, len(recs)*6)
+	var err error
+	for i, r := range recs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(`(?, ?, ?, ?, ?, ?)`)
+		if args, err = encodeExperimentRow(r, args); err != nil {
+			return err
+		}
+	}
+	_, err = s.db.Exec(sb.String(), args...)
+	return err
+}
+
+// Flush makes Store satisfy core.ResultSink. Writes are synchronous, so
+// there is nothing to flush.
+func (s *Store) Flush() error { return nil }
 
 // GetExperiment loads one LoggedSystemState row by experiment name.
 func (s *Store) GetExperiment(name string) (*ExperimentRecord, error) {

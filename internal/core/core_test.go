@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"goofi/internal/bitvec"
@@ -246,7 +247,7 @@ func TestRunnerCampaignEndToEnd(t *testing.T) {
 	ts := newFakeTarget()
 	var events []ProgressEvent
 	r, err := NewRunner(ts, SCIFI, camp, fakeTSD(),
-		WithStore(st), WithProgress(func(ev ProgressEvent) { events = append(events, ev) }))
+		WithSink(st), WithProgress(func(ev ProgressEvent) { events = append(events, ev) }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestRunnerDeterminism(t *testing.T) {
 	run := func() []campaign.OutcomeStatus {
 		camp := fakeCampaign(15)
 		st := storeWithCampaign(t, camp)
-		r, err := NewRunner(newFakeTarget(), SCIFI, camp, fakeTSD(), WithStore(st))
+		r, err := NewRunner(newFakeTarget(), SCIFI, camp, fakeTSD(), WithSink(st))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -329,7 +330,7 @@ func TestRunnerNeverInjectsReadOnlyBits(t *testing.T) {
 	camp := fakeCampaign(50)
 	camp.Locations = []string{"regs", "counter"} // counter is read-only
 	st := storeWithCampaign(t, camp)
-	r, err := NewRunner(newFakeTarget(), SCIFI, camp, fakeTSD(), WithStore(st))
+	r, err := NewRunner(newFakeTarget(), SCIFI, camp, fakeTSD(), WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,20 +380,31 @@ func TestRunnerPauseResume(t *testing.T) {
 	camp := fakeCampaign(10)
 	ts := newFakeTarget()
 	var r *Runner
+	// Progress events arrive from the board worker and the dispatcher;
+	// guard the test's own state.
+	var mu sync.Mutex
 	paused := false
 	sawPause := false
 	var err error
 	r, err = NewRunner(ts, SCIFI, camp, fakeTSD(), WithProgress(func(ev ProgressEvent) {
 		switch ev.Phase {
 		case "experiment":
-			if ev.Done == 3 && !paused {
+			mu.Lock()
+			trigger := ev.Done == 3 && !paused
+			if trigger {
 				paused = true
+			}
+			mu.Unlock()
+			if trigger {
 				r.Pause()
-				// Resume from another goroutine, as the GUI would.
-				go r.Resume()
 			}
 		case "paused":
+			// Resume from the paused event, as the GUI restart button
+			// would once the pause is visible.
+			mu.Lock()
 			sawPause = true
+			mu.Unlock()
+			r.Resume()
 		}
 	}))
 	if err != nil {
@@ -433,7 +445,7 @@ func TestRunnerRerunSetsParent(t *testing.T) {
 	camp := fakeCampaign(5)
 	st := storeWithCampaign(t, camp)
 	ts := newFakeTarget()
-	r, err := NewRunner(ts, SCIFI, camp, fakeTSD(), WithStore(st))
+	r, err := NewRunner(ts, SCIFI, camp, fakeTSD(), WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}

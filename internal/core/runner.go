@@ -39,17 +39,21 @@ type Summary struct {
 }
 
 // Runner executes fault injection campaigns: a reference run followed by
-// NumExperiments fault injection experiments, with logging to the GOOFI
-// database and pause/resume/stop control (paper Fig 7).
+// NumExperiments fault injection experiments, with logging through a
+// ResultSink and pause/resume/stop control (paper Fig 7). Run is the only
+// execution entry point; the board count is a parameter (WithBoards), not
+// a separate method.
 type Runner struct {
 	target TargetSystem
 	alg    Algorithm
 	camp   *campaign.Campaign
 	tsd    *campaign.TargetSystemData
 
-	store      *campaign.Store
+	sink       ResultSink
 	onProgress func(ProgressEvent)
 	filter     func(f faultmodel.Fault, trig trigger.Spec) bool
+	boards     int
+	factory    func() TargetSystem
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -60,9 +64,22 @@ type Runner struct {
 // RunnerOption configures a Runner.
 type RunnerOption func(*Runner)
 
-// WithStore enables database logging of every experiment.
-func WithStore(s *campaign.Store) RunnerOption {
-	return func(r *Runner) { r.store = s }
+// WithSink enables logging of every experiment through a ResultSink —
+// typically *campaign.Store for synchronous writes or
+// *campaign.BatchingSink for batched asynchronous ones.
+func WithSink(s ResultSink) RunnerOption {
+	return func(r *Runner) { r.sink = s }
+}
+
+// WithBoards sets how many simulated boards execute the campaign's plan
+// concurrently. factory creates the target system each board drives; it is
+// required above one board and, when non-nil, also supplies the reference
+// run's target. The default is one board driving the runner's own target.
+func WithBoards(boards int, factory func() TargetSystem) RunnerOption {
+	return func(r *Runner) {
+		r.boards = boards
+		r.factory = factory
+	}
 }
 
 // WithProgress installs a progress callback. It is invoked synchronously
@@ -92,7 +109,7 @@ func NewRunner(ts TargetSystem, alg Algorithm, camp *campaign.Campaign,
 		return nil, fmt.Errorf("core: campaign %q targets %q, got target system %q",
 			camp.Name, camp.TargetName, tsd.Name)
 	}
-	r := &Runner{target: ts, alg: alg, camp: camp, tsd: tsd}
+	r := &Runner{target: ts, alg: alg, camp: camp, tsd: tsd, boards: 1}
 	r.cond = sync.NewCond(&r.mu)
 	for _, o := range opts {
 		o(r)
@@ -125,7 +142,8 @@ func (r *Runner) Stop() {
 }
 
 // checkpoint blocks while paused; it reports false when the campaign
-// should stop (Stop called or context cancelled). The paused progress
+// should stop (Stop called or context cancelled). On pause the sink is
+// flushed — a checkpointed campaign is durable — and the paused progress
 // event is emitted outside the lock so a callback may call Resume or
 // Stop synchronously.
 func (r *Runner) checkpoint(ctx context.Context) bool {
@@ -133,6 +151,9 @@ func (r *Runner) checkpoint(ctx context.Context) bool {
 	pausedNow := r.paused && !r.stopped
 	r.mu.Unlock()
 	if pausedNow {
+		// A flush error will poison an asynchronous sink and resurface
+		// from the termination flush; pausing itself need not fail.
+		_ = r.flushSink()
 		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "paused"})
 	}
 	r.mu.Lock()
@@ -147,6 +168,14 @@ func (r *Runner) emit(ev ProgressEvent) {
 	if r.onProgress != nil {
 		r.onProgress(ev)
 	}
+}
+
+// flushSink drains the sink when one is configured.
+func (r *Runner) flushSink() error {
+	if r.sink == nil {
+		return nil
+	}
+	return r.sink.Flush()
 }
 
 // space resolves the campaign's selected locations against the target's
@@ -205,10 +234,10 @@ func (r *Runner) newExperiment(seq int, fault *faultmodel.Fault, trig trigger.Sp
 		Trigger:  trig,
 		RNG:      rand.New(rand.NewSource(expSeed(r.camp.Seed, seq))),
 	}
-	if r.camp.LogMode == campaign.LogDetail && r.store != nil {
+	if r.camp.LogMode == campaign.LogDetail && r.sink != nil {
 		parent := name
 		ex.DetailSink = func(step int, sv *campaign.StateVector) error {
-			return r.store.LogExperiment(&campaign.ExperimentRecord{
+			return r.sink.LogExperiment(&campaign.ExperimentRecord{
 				Name:     fmt.Sprintf("%s/step%06d", parent, step),
 				Parent:   parent,
 				Campaign: r.camp.Name,
@@ -220,114 +249,22 @@ func (r *Runner) newExperiment(seq int, fault *faultmodel.Fault, trig trigger.Sp
 	return ex
 }
 
-// runOne executes one experiment and logs it.
-func (r *Runner) runOne(ex *Experiment, parent string) error {
-	if err := r.alg.Run(r.target, ex); err != nil {
+// runOne executes one experiment on the given board target and logs it.
+func (r *Runner) runOne(target TargetSystem, ex *Experiment, parent string) error {
+	if err := r.alg.Run(target, ex); err != nil {
 		return fmt.Errorf("core: campaign %q %s: %w", r.camp.Name, ex.Name, err)
 	}
-	if r.store != nil {
+	if r.sink != nil {
 		rec, err := ex.Record()
 		if err != nil {
 			return err
 		}
 		rec.Parent = parent
-		if err := r.store.LogExperiment(rec); err != nil {
+		if err := r.sink.LogExperiment(rec); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// Run executes the campaign: reference run, then the experiment loop of
-// paper Fig 2. It returns a summary of raw outcomes.
-func (r *Runner) Run(ctx context.Context) (*Summary, error) {
-	// Wake a paused campaign when the context is cancelled, so Wait in
-	// checkpoint observes the cancellation.
-	cancelWatch := context.AfterFunc(ctx, func() {
-		r.mu.Lock()
-		r.cond.Broadcast()
-		r.mu.Unlock()
-	})
-	defer cancelWatch()
-
-	sp, _, err := r.space()
-	if err != nil {
-		return nil, err
-	}
-	planRNG := rand.New(rand.NewSource(r.camp.Seed))
-
-	sum := &Summary{
-		Campaign:    r.camp.Name,
-		ByStatus:    make(map[campaign.OutcomeStatus]int),
-		ByMechanism: make(map[string]int),
-	}
-
-	// makeReferenceRun (paper Fig 2): fault-free execution whose logged
-	// state anchors the analysis phase.
-	r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
-	ref := r.newExperiment(-1, nil, trigger.Spec{})
-	if err := r.runOne(ref, ""); err != nil {
-		return nil, err
-	}
-
-	// A bounded redraw budget keeps a pathological filter (rejecting
-	// everything) from spinning forever.
-	maxRedraws := 1000 * r.camp.NumExperiments
-
-	for i := 0; i < r.camp.NumExperiments; i++ {
-		// The plan stream must advance identically whether or not the
-		// experiment runs, so draw before the stop check.
-		var fault faultmodel.Fault
-		var trig trigger.Spec
-		for {
-			var err error
-			fault, err = sp.Sample(&r.camp.FaultModel, planRNG)
-			if err != nil {
-				return nil, err
-			}
-			trig = r.camp.Trigger
-			if r.camp.RandomWindow[1] > 0 {
-				span := r.camp.RandomWindow[1] - r.camp.RandomWindow[0]
-				trig.Cycle = r.camp.RandomWindow[0] + uint64(planRNG.Int63n(int64(span)))
-			}
-			if r.filter == nil || r.filter(fault, trig) {
-				break
-			}
-			sum.Skipped++
-			if sum.Skipped > maxRedraws {
-				return nil, fmt.Errorf("core: campaign %q: pre-injection filter rejected %d draws",
-					r.camp.Name, sum.Skipped)
-			}
-		}
-		if !r.checkpoint(ctx) {
-			r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "stopped", Done: i, Total: r.camp.NumExperiments})
-			return sum, ctx.Err()
-		}
-		ex := r.newExperiment(i, &fault, trig)
-		if err := r.runOne(ex, ""); err != nil {
-			return nil, err
-		}
-		sum.Experiments++
-		if ex.Injected {
-			sum.Injected++
-		}
-		st := ex.Result.Outcome.Status
-		sum.ByStatus[st]++
-		if st == campaign.OutcomeDetected {
-			sum.ByMechanism[ex.Result.Outcome.Mechanism]++
-		}
-		r.emit(ProgressEvent{
-			Campaign:   r.camp.Name,
-			Phase:      "experiment",
-			Done:       i + 1,
-			Total:      r.camp.NumExperiments,
-			Experiment: ex.Name,
-			Outcome:    st,
-		})
-	}
-	r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "done",
-		Done: sum.Experiments, Total: r.camp.NumExperiments})
-	return sum, nil
 }
 
 // Rerun repeats a logged experiment with the same fault and trigger,
@@ -336,10 +273,10 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 // with the same campaign data, typically in detail mode). detail forces
 // detail-mode logging regardless of the campaign's log mode.
 func (r *Runner) Rerun(expName string, detail bool) (*Experiment, error) {
-	if r.store == nil {
-		return nil, fmt.Errorf("core: rerun needs a store")
+	if r.sink == nil {
+		return nil, fmt.Errorf("core: rerun needs a result sink")
 	}
-	orig, err := r.store.GetExperiment(expName)
+	orig, err := r.sink.GetExperiment(expName)
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +292,7 @@ func (r *Runner) Rerun(expName string, detail bool) (*Experiment, error) {
 	name := ""
 	for n := 1; ; n++ {
 		candidate := fmt.Sprintf("%s%d", base, n)
-		if _, err := r.store.GetExperiment(candidate); err != nil {
+		if _, err := r.sink.GetExperiment(candidate); err != nil {
 			name = candidate
 			break
 		}
@@ -364,7 +301,7 @@ func (r *Runner) Rerun(expName string, detail bool) (*Experiment, error) {
 	if detail {
 		parent := name
 		ex.DetailSink = func(step int, sv *campaign.StateVector) error {
-			return r.store.LogExperiment(&campaign.ExperimentRecord{
+			return r.sink.LogExperiment(&campaign.ExperimentRecord{
 				Name:     fmt.Sprintf("%s/step%06d", parent, step),
 				Parent:   parent,
 				Campaign: r.camp.Name,
@@ -373,7 +310,10 @@ func (r *Runner) Rerun(expName string, detail bool) (*Experiment, error) {
 			})
 		}
 	}
-	if err := r.runOne(ex, expName); err != nil {
+	if err := r.runOne(r.boardTarget(), ex, expName); err != nil {
+		return nil, err
+	}
+	if err := r.flushSink(); err != nil {
 		return nil, err
 	}
 	return ex, nil

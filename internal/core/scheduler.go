@@ -18,9 +18,10 @@ type plannedExperiment struct {
 	trig  trigger.Spec
 }
 
-// plan draws the campaign's complete injection plan up front: the same
-// stream a sequential Run would consume, so parallel execution yields
-// bit-identical per-experiment results regardless of the board count.
+// plan draws the campaign's complete injection plan up front from a single
+// RNG seeded with the campaign seed. Because the plan stream is fixed
+// before any experiment runs, per-experiment outcomes are bit-identical
+// regardless of how many boards later execute the plan.
 func (r *Runner) plan() ([]plannedExperiment, int, error) {
 	sp, _, err := r.space()
 	if err != nil {
@@ -29,6 +30,8 @@ func (r *Runner) plan() ([]plannedExperiment, int, error) {
 	planRNG := rand.New(rand.NewSource(r.camp.Seed))
 	out := make([]plannedExperiment, 0, r.camp.NumExperiments)
 	skipped := 0
+	// A bounded redraw budget keeps a pathological filter (rejecting
+	// everything) from spinning forever.
 	maxRedraws := 1000 * r.camp.NumExperiments
 	for i := 0; i < r.camp.NumExperiments; i++ {
 		for {
@@ -55,16 +58,37 @@ func (r *Runner) plan() ([]plannedExperiment, int, error) {
 	return out, skipped, nil
 }
 
-// RunParallel executes the campaign across several simulated boards, each
-// created by factory. Experiment outcomes are identical to a sequential
-// Run with the same campaign (each experiment is fully re-initialised on
-// whichever board runs it); only wall-clock time changes. The progress
-// callback, when set, is invoked from multiple goroutines and must be
-// safe for concurrent use. Pause/Resume/Stop work as in Run.
-func (r *Runner) RunParallel(ctx context.Context, boards int, factory func() TargetSystem) (*Summary, error) {
-	if boards < 1 {
-		return nil, fmt.Errorf("core: board count %d < 1", boards)
+// boardTarget returns the target system a board should drive: a fresh one
+// from the factory when configured (required above one board), otherwise
+// the runner's own target.
+func (r *Runner) boardTarget() TargetSystem {
+	if r.factory != nil {
+		return r.factory()
 	}
+	return r.target
+}
+
+// Run executes the campaign: one planning pass, the reference run, then
+// the experiment loop of paper Fig 2 dispatched over a pool of board
+// workers. One board is the degenerate case — the single worker consumes
+// the plan in sequence order, making execution equivalent to a sequential
+// loop. Experiment outcomes are identical for every board count (each
+// experiment is fully re-initialised on whichever board runs it); only
+// wall-clock time changes.
+//
+// With more than one board the progress callback is invoked from multiple
+// goroutines and must be safe for concurrent use. Pause/Resume/Stop act at
+// the dispatch checkpoint between experiments; the sink is flushed on
+// pause and on termination.
+func (r *Runner) Run(ctx context.Context) (*Summary, error) {
+	if r.boards < 1 {
+		return nil, fmt.Errorf("core: board count %d < 1", r.boards)
+	}
+	if r.boards > 1 && r.factory == nil {
+		return nil, fmt.Errorf("core: %d boards need a target factory (WithBoards)", r.boards)
+	}
+	// Wake a paused campaign when the context is cancelled, so Wait in
+	// checkpoint observes the cancellation.
 	cancelWatch := context.AfterFunc(ctx, func() {
 		r.mu.Lock()
 		r.cond.Broadcast()
@@ -83,21 +107,13 @@ func (r *Runner) RunParallel(ctx context.Context, boards int, factory func() Tar
 		ByMechanism: make(map[string]int),
 	}
 
-	// Reference run on one board before fanning out.
+	// makeReferenceRun (paper Fig 2): fault-free execution whose logged
+	// state anchors the analysis phase. It runs on one board before the
+	// pool fans out.
 	r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
-	refTarget := factory()
 	ref := r.newExperiment(-1, nil, trigger.Spec{})
-	if err := r.alg.Run(refTarget, ref); err != nil {
-		return nil, fmt.Errorf("core: campaign %q %s: %w", r.camp.Name, ref.Name, err)
-	}
-	if r.store != nil {
-		rec, err := ref.Record()
-		if err != nil {
-			return nil, err
-		}
-		if err := r.store.LogExperiment(rec); err != nil {
-			return nil, err
-		}
+	if err := r.runOne(r.boardTarget(), ref, ""); err != nil {
+		return nil, err
 	}
 
 	var (
@@ -107,30 +123,21 @@ func (r *Runner) RunParallel(ctx context.Context, boards int, factory func() Tar
 	)
 	work := make(chan plannedExperiment)
 	var wg sync.WaitGroup
-	for b := 0; b < boards; b++ {
+	for b := 0; b < r.boards; b++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			target := factory()
+			target := r.boardTarget()
 			for pe := range work {
 				ex := r.newExperiment(pe.seq, &pe.fault, pe.trig)
-				err := r.alg.Run(target, ex)
-				var rec *campaign.ExperimentRecord
-				if err == nil && r.store != nil {
-					rec, err = ex.Record()
-				}
+				err := r.runOne(target, ex, "")
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
-						firstErr = fmt.Errorf("core: campaign %q %s: %w", r.camp.Name, ex.Name, err)
+						firstErr = err
 					}
 					mu.Unlock()
 					continue
-				}
-				if rec != nil {
-					if lerr := r.store.LogExperiment(rec); lerr != nil && firstErr == nil {
-						firstErr = lerr
-					}
 				}
 				sum.Experiments++
 				if ex.Injected {
@@ -176,6 +183,11 @@ dispatch:
 	close(work)
 	wg.Wait()
 
+	// Termination flush: whatever the boards logged must be durable before
+	// the campaign reports its outcome.
+	if ferr := r.flushSink(); ferr != nil && firstErr == nil {
+		firstErr = ferr
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,0 +1,20 @@
+package core
+
+import "goofi/internal/campaign"
+
+// ResultSink receives every record a campaign produces: end-of-experiment
+// results, the reference run, and detail-mode step traces. The scheduler
+// writes through this interface only, so storage can be synchronous
+// (*campaign.Store) or batched and asynchronous (*campaign.BatchingSink)
+// without the execution layer knowing.
+//
+// LogExperiment may be called from several board goroutines concurrently.
+// Flush blocks until everything logged so far is durable; the scheduler
+// calls it at pause checkpoints and on termination. GetExperiment must
+// observe records previously passed to LogExperiment (read-your-writes);
+// Rerun depends on it.
+type ResultSink interface {
+	LogExperiment(*campaign.ExperimentRecord) error
+	GetExperiment(name string) (*campaign.ExperimentRecord, error)
+	Flush() error
+}

@@ -45,7 +45,7 @@ func TestPinLevelCampaign(t *testing.T) {
 		t.Fatal(err)
 	}
 	tgt := New(thor.DefaultConfig())
-	r, err := core.NewRunner(tgt, core.PinLevel, camp, tsd, core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.PinLevel, camp, tsd, core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}

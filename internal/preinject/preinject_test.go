@@ -145,7 +145,7 @@ func TestFilterImprovesEffectiveness(t *testing.T) {
 		if err := st.PutCampaign(camp); err != nil {
 			t.Fatal(err)
 		}
-		opts := []core.RunnerOption{core.WithStore(st)}
+		opts := []core.RunnerOption{core.WithSink(st)}
 		if filter {
 			a, err := AnalyzeWorkload(thor.DefaultConfig(), camp)
 			if err != nil {

@@ -129,7 +129,7 @@ func TestCampaignEndToEndSort(t *testing.T) {
 	camp := sortCampaign("sort-e2e", 40, 11)
 	st := newStore(t, camp)
 	tgt := New(thor.DefaultConfig())
-	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestCampaignDeterministicReplay(t *testing.T) {
 		camp := sortCampaign("det", 15, 99)
 		st := newStore(t, camp)
 		tgt := New(thor.DefaultConfig())
-		r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithStore(st))
+		r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithSink(st))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,7 +202,7 @@ func TestCampaignPIDWithEnvSimulator(t *testing.T) {
 	camp := pidCampaign("pid-e2e", 25, 3)
 	st := newStore(t, camp)
 	tgt := New(thor.DefaultConfig())
-	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestDetailModeProducesTrace(t *testing.T) {
 	camp.Termination.TimeoutCycles = 30_000
 	st := newStore(t, camp)
 	tgt := New(thor.DefaultConfig())
-	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestPersistentStuckAtFault(t *testing.T) {
 	camp.FaultModel = faultmodel.Spec{Kind: faultmodel.StuckAt1}
 	st := newStore(t, camp)
 	tgt := New(thor.DefaultConfig())
-	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestBranchTriggerCampaign(t *testing.T) {
 	camp.Trigger = trigger.Spec{Kind: "branch", Occurrence: 10}
 	st := newStore(t, camp)
 	tgt := New(thor.DefaultConfig())
-	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +312,7 @@ func TestRerunReproducesOutcome(t *testing.T) {
 	camp := sortCampaign("rerun", 8, 13)
 	st := newStore(t, camp)
 	tgt := New(thor.DefaultConfig())
-	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +355,7 @@ func TestAssertionRecoveryCampaign(t *testing.T) {
 	camp.Workload = workload.PIDAssert()
 	st := newStore(t, camp)
 	tgt := New(thor.DefaultConfig())
-	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +382,7 @@ func TestTimeoutTermination(t *testing.T) {
 	camp.Termination = campaign.Termination{TimeoutCycles: 20_000} // no MaxIterations
 	st := newStore(t, camp)
 	tgt := New(thor.DefaultConfig())
-	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +414,7 @@ func TestICacheInjectionDetectedByParity(t *testing.T) {
 	camp.Locations = locs
 	st := newStore(t, camp)
 	tgt := New(thor.DefaultConfig())
-	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.SCIFI, camp, TargetSystemData("thor-board"), core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,19 +433,18 @@ func TestParallelBoardsMatchSequential(t *testing.T) {
 	run := func(parallel bool) []*campaign.ExperimentRecord {
 		camp := sortCampaign("parity-par", 20, 77)
 		st := newStore(t, camp)
+		opts := []core.RunnerOption{core.WithSink(st)}
+		if parallel {
+			opts = append(opts, core.WithBoards(4, func() core.TargetSystem {
+				return New(thor.DefaultConfig())
+			}))
+		}
 		r, err := core.NewRunner(New(thor.DefaultConfig()), core.SCIFI, camp,
-			TargetSystemData("thor-board"), core.WithStore(st))
+			TargetSystemData("thor-board"), opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if parallel {
-			_, err = r.RunParallel(context.Background(), 4, func() core.TargetSystem {
-				return New(thor.DefaultConfig())
-			})
-		} else {
-			_, err = r.Run(context.Background())
-		}
-		if err != nil {
+		if _, err = r.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		recs, err := st.Experiments("parity-par")

@@ -28,6 +28,14 @@ type CreateTable struct {
 	Foreign     []ForeignKeyDef
 }
 
+// CreateIndex is CREATE INDEX ... ON table (cols).
+type CreateIndex struct {
+	Name        string
+	IfNotExists bool
+	Table       string
+	Cols        []string
+}
+
 // DropTable is DROP TABLE.
 type DropTable struct {
 	Name     string
@@ -86,6 +94,7 @@ type Delete struct {
 }
 
 func (*CreateTable) stmt() {}
+func (*CreateIndex) stmt() {}
 func (*DropTable) stmt()   {}
 func (*Insert) stmt()      {}
 func (*Select) stmt()      {}

@@ -12,11 +12,46 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	order  []string // creation order, for stable persistence and listing
+
+	stmtMu sync.RWMutex
+	stmts  map[string]Statement // parsed-statement cache, keyed by SQL text
+
+	// disableIndexSelect forces matchRows onto the full-scan path; used by
+	// property tests to compare indexed and unindexed execution.
+	disableIndexSelect bool
 }
+
+// stmtCacheLimit bounds the parsed-statement cache. Campaign workloads
+// reuse a small set of statements, so the cache is cleared, not evicted,
+// when it fills.
+const stmtCacheLimit = 512
 
 // Open returns an empty database.
 func Open() *DB {
-	return &DB{tables: make(map[string]*Table)}
+	return &DB{tables: make(map[string]*Table), stmts: make(map[string]Statement)}
+}
+
+// parseCached parses a statement, memoizing the AST. Statements are
+// immutable after parsing (execution never writes to the tree), so a
+// cached AST can be shared across goroutines.
+func (db *DB) parseCached(sql string) (Statement, error) {
+	db.stmtMu.RLock()
+	st, ok := db.stmts[sql]
+	db.stmtMu.RUnlock()
+	if ok {
+		return st, nil
+	}
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.stmtMu.Lock()
+	if db.stmts == nil || len(db.stmts) >= stmtCacheLimit {
+		db.stmts = make(map[string]Statement)
+	}
+	db.stmts[sql] = st
+	db.stmtMu.Unlock()
+	return st, nil
 }
 
 // Result is the outcome of a SELECT.
@@ -61,15 +96,21 @@ func (db *DB) Schema(name string) (cols []Column, pk []string, fks []ForeignKey,
 // Exec runs a statement that does not return rows. It returns the number
 // of rows affected (0 for DDL).
 func (db *DB) Exec(sql string, args ...Value) (int64, error) {
-	st, err := Parse(sql)
+	st, err := db.parseCached(sql)
 	if err != nil {
 		return 0, err
 	}
+	return db.execStmt(st, args)
+}
+
+func (db *DB) execStmt(st Statement, args []Value) (int64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	switch st := st.(type) {
 	case *CreateTable:
 		return 0, db.createTable(st)
+	case *CreateIndex:
+		return 0, db.createIndex(st)
 	case *DropTable:
 		return 0, db.dropTable(st)
 	case *Insert:
@@ -85,9 +126,86 @@ func (db *DB) Exec(sql string, args ...Value) (int64, error) {
 	}
 }
 
+// Stmt is a prepared statement: parsed once, executable many times
+// without the per-call cache lookup. The AST is immutable after parse, so
+// a Stmt is safe for concurrent use.
+type Stmt struct {
+	db *DB
+	st Statement
+	// fastTable/fastN describe a single-row INSERT whose values are
+	// exactly the parameters ?0..?n-1 in order: the row can be built by
+	// copying args, skipping expression evaluation entirely.
+	fastTable string
+	fastN     int
+}
+
+// fastInsertParams reports whether st is `INSERT INTO t VALUES (?0, ...,
+// ?n-1)` — one row, no column list, every value the positional parameter
+// matching its slot. Returns ("", 0) otherwise.
+func fastInsertParams(st Statement) (string, int) {
+	ins, ok := st.(*Insert)
+	if !ok || len(ins.Cols) != 0 || len(ins.Rows) != 1 {
+		return "", 0
+	}
+	for i, e := range ins.Rows[0] {
+		p, ok := e.(*Param)
+		if !ok || p.Idx != i {
+			return "", 0
+		}
+	}
+	return ins.Table, len(ins.Rows[0])
+}
+
+// Prepare parses a statement for repeated execution. This is the write
+// half of the storage hot path: the campaign store prepares its
+// LoggedSystemState INSERT once and replays it per experiment.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	st, err := db.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{db: db, st: st}
+	s.fastTable, s.fastN = fastInsertParams(st)
+	return s, nil
+}
+
+// Exec runs the prepared statement with the given parameters.
+func (s *Stmt) Exec(args ...Value) (int64, error) {
+	// Fast path: a pure-parameter single-row INSERT copies args straight
+	// into the row. Any shape mismatch falls back to the general path so
+	// error messages stay identical.
+	if s.fastN > 0 && len(args) == s.fastN {
+		s.db.mu.Lock()
+		t, ok := s.db.tables[s.fastTable]
+		if ok && len(t.Cols) == s.fastN {
+			row := make([]Value, s.fastN)
+			copy(row, args)
+			err := s.db.insertRow(t, row)
+			s.db.mu.Unlock()
+			if err != nil {
+				return 0, err
+			}
+			return 1, nil
+		}
+		s.db.mu.Unlock()
+	}
+	return s.db.execStmt(s.st, args)
+}
+
+// Query runs a prepared SELECT.
+func (s *Stmt) Query(args ...Value) (*Result, error) {
+	sel, ok := s.st.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.db.selectRows(sel, args)
+}
+
 // Query runs a SELECT and returns its result rows.
 func (db *DB) Query(sql string, args ...Value) (*Result, error) {
-	st, err := Parse(sql)
+	st, err := db.parseCached(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -165,9 +283,44 @@ func (db *DB) createTable(ct *CreateTable) error {
 	if err := t.rebuildIndex(); err != nil {
 		return err
 	}
+	if err := t.ensureFKIndexes(); err != nil {
+		return err
+	}
 	db.tables[ct.Name] = t
 	db.order = append(db.order, ct.Name)
 	return nil
+}
+
+// ensureFKIndexes creates an automatic secondary index for every foreign
+// key column set, so fkCheck and referencers resolve by hash lookup. Sets
+// already covered by the primary key or an existing index are skipped.
+func (t *Table) ensureFKIndexes() error {
+	for i, fk := range t.FKs {
+		if equalStrings(fk.Cols, t.PKCols) || t.hasIndexOn(fk.Cols) {
+			continue
+		}
+		name := fmt.Sprintf("%s_fk%d_auto", t.Name, i)
+		if err := t.addIndex(name, fk.Cols); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) createIndex(ci *CreateIndex) error {
+	t, ok := db.tables[ci.Table]
+	if !ok {
+		return fmt.Errorf("sqldb: no table %q", ci.Table)
+	}
+	for _, ix := range t.Indexes {
+		if ix.Name == ci.Name {
+			if ci.IfNotExists {
+				return nil
+			}
+			return fmt.Errorf("sqldb: index %q already exists on table %s", ci.Name, ci.Table)
+		}
+	}
+	return t.addIndex(ci.Name, ci.Cols)
 }
 
 func (db *DB) dropTable(dt *DropTable) error {
@@ -200,17 +353,17 @@ func (db *DB) dropTable(dt *DropTable) error {
 // fkCheck verifies that a row's foreign key tuples exist in the referenced
 // tables. NULL components skip the check (SQL MATCH SIMPLE).
 func (db *DB) fkCheck(t *Table, row []Value) error {
-	for _, fk := range t.FKs {
-		idx, err := t.colIndexes(fk.Cols)
+	for fi := range t.FKs {
+		fk := &t.FKs[fi]
+		idx, err := t.fkColIdx(fi)
 		if err != nil {
 			return err
 		}
-		vals := make([]Value, len(idx))
 		hasNull := false
-		for i, ci := range idx {
-			vals[i] = row[ci]
-			if vals[i].IsNull() {
+		for _, ci := range idx {
+			if row[ci].IsNull() {
 				hasNull = true
+				break
 			}
 		}
 		if hasNull {
@@ -220,8 +373,18 @@ func (db *DB) fkCheck(t *Table, row []Value) error {
 		if ref == nil {
 			return fmt.Errorf("sqldb: foreign key references missing table %q", fk.RefTable)
 		}
+		// The FK values in fk.Cols order correspond positionally to
+		// fk.RefCols, so the same projection keys both sides.
+		key := rowKey(row, idx)
 		if equalStrings(fk.RefCols, ref.PKCols) {
-			if !ref.hasPKRow(vals) {
+			if _, ok := ref.pkIndex[key]; !ok {
+				return fmt.Errorf("sqldb: foreign key violation: %s%v not in %s(%v)",
+					t.Name, fk.Cols, fk.RefTable, fk.RefCols)
+			}
+			continue
+		}
+		if ix := ref.indexOn(fk.RefCols); ix != nil {
+			if len(ix.rows[key]) == 0 {
 				return fmt.Errorf("sqldb: foreign key violation: %s%v not in %s(%v)",
 					t.Name, fk.Cols, fk.RefTable, fk.RefCols)
 			}
@@ -231,7 +394,7 @@ func (db *DB) fkCheck(t *Table, row []Value) error {
 		if err != nil {
 			return err
 		}
-		if !set[keyString(vals)] {
+		if !set[key] {
 			return fmt.Errorf("sqldb: foreign key violation: %s%v not in %s(%v)",
 				t.Name, fk.Cols, fk.RefTable, fk.RefCols)
 		}
@@ -252,10 +415,25 @@ func (db *DB) referencers(t *Table, row []Value) error {
 				return err
 			}
 			refVals := make([]Value, len(refIdx))
+			refNull := false
 			for i, ci := range refIdx {
 				refVals[i] = row[ci]
+				if refVals[i].IsNull() {
+					refNull = true
+				}
+			}
+			if refNull {
+				// A NULL component never matches a referencing tuple
+				// (MATCH SIMPLE), so nothing can reference this row.
+				continue
 			}
 			key := keyString(refVals)
+			if ix := other.indexOn(fk.Cols); ix != nil {
+				if len(ix.rows[key]) > 0 {
+					return fmt.Errorf("sqldb: row in %s is referenced by %s", t.Name, other.Name)
+				}
+				continue
+			}
 			colIdx, err := other.colIndexes(fk.Cols)
 			if err != nil {
 				return err
@@ -279,16 +457,17 @@ func (db *DB) referencers(t *Table, row []Value) error {
 }
 
 // uniqueCheck verifies UNIQUE columns and PK uniqueness for a candidate
-// row, ignoring the row at skipIdx (for updates).
-func (db *DB) uniqueCheck(t *Table, row []Value, skipIdx int) error {
+// row, ignoring the row at skipIdx (for updates). pkKey is the row's
+// precomputed primary key tuple ("" when the table has no PK); passing it
+// in lets insert/update reuse the key for the index maintenance that
+// follows.
+func (db *DB) uniqueCheck(t *Table, row []Value, pkKey string, skipIdx int) error {
 	if len(t.PKCols) > 0 {
-		key := t.pkKey(row)
-		if i, dup := t.pkIndex[key]; dup && i != skipIdx {
+		if i, dup := t.pkIndex[pkKey]; dup && i != skipIdx {
 			return fmt.Errorf("sqldb: duplicate primary key in table %s", t.Name)
 		}
 		// PK components must not be NULL.
-		idx, _ := t.colIndexes(t.PKCols)
-		for _, ci := range idx {
+		for _, ci := range t.pkColIdx() {
 			if row[ci].IsNull() {
 				return fmt.Errorf("sqldb: NULL in primary key of table %s", t.Name)
 			}
@@ -352,29 +531,60 @@ func (db *DB) insert(ins *Insert, args []Value) (int64, error) {
 				row[colIdx[i]] = v
 			}
 		}
-		row, err := t.checkRow(row)
-		if err != nil {
+		if err := db.insertRow(t, row); err != nil {
 			return inserted, err
-		}
-		if err := db.uniqueCheck(t, row, -1); err != nil {
-			return inserted, err
-		}
-		if err := db.fkCheck(t, row); err != nil {
-			return inserted, err
-		}
-		t.Rows = append(t.Rows, row)
-		if len(t.PKCols) > 0 {
-			t.pkIndex[t.pkKey(row)] = len(t.Rows) - 1
 		}
 		inserted++
 	}
 	return inserted, nil
 }
 
+// insertRow validates one assembled row and appends it with full index
+// maintenance. Shared by the general INSERT path and the prepared-
+// statement fast path.
+func (db *DB) insertRow(t *Table, row []Value) error {
+	row, err := t.checkRow(row)
+	if err != nil {
+		return err
+	}
+	key := t.pkKey(row)
+	if err := db.uniqueCheck(t, row, key, -1); err != nil {
+		return err
+	}
+	if err := db.fkCheck(t, row); err != nil {
+		return err
+	}
+	t.Rows = append(t.Rows, row)
+	if len(t.PKCols) > 0 {
+		t.pkIndex[key] = len(t.Rows) - 1
+	}
+	t.indexInsert(len(t.Rows)-1, row)
+	return nil
+}
+
 // matchRows returns the indexes of rows satisfying the WHERE clause.
+// When the clause's equality bindings are covered by the primary key or a
+// secondary index, only the index candidates are evaluated; the full WHERE
+// still runs on each candidate, so results match a full scan.
 func (db *DB) matchRows(t *Table, where Expr, args []Value) ([]int, error) {
-	var out []int
 	ctx := &evalCtx{table: t, args: args}
+	if where != nil && !db.disableIndexSelect {
+		if cand, ok := t.indexCandidates(where, args); ok {
+			var out []int
+			for _, ri := range cand {
+				ctx.row = t.Rows[ri]
+				v, err := eval(where, ctx)
+				if err != nil {
+					return nil, err
+				}
+				if v.Truth() {
+					out = append(out, ri)
+				}
+			}
+			return out, nil
+		}
+	}
+	var out []int
 	for i, row := range t.Rows {
 		if where == nil {
 			out = append(out, i)
@@ -427,7 +637,8 @@ func (db *DB) update(up *Update, args []Value) (int64, error) {
 		if err != nil {
 			return updated, err
 		}
-		if err := db.uniqueCheck(t, next, ri); err != nil {
+		newKey := t.pkKey(next)
+		if err := db.uniqueCheck(t, next, newKey, ri); err != nil {
 			return updated, err
 		}
 		if err := db.fkCheck(t, next); err != nil {
@@ -435,7 +646,7 @@ func (db *DB) update(up *Update, args []Value) (int64, error) {
 		}
 		// If the PK tuple changes, no other table may reference the old
 		// tuple (RESTRICT).
-		oldKey, newKey := t.pkKey(old), t.pkKey(next)
+		oldKey := t.pkKey(old)
 		if len(t.PKCols) > 0 && oldKey != newKey {
 			if err := db.referencers(t, old); err != nil {
 				return updated, err
@@ -449,6 +660,7 @@ func (db *DB) update(up *Update, args []Value) (int64, error) {
 			delete(t.pkIndex, oldKey)
 			t.pkIndex[newKey] = ri
 		}
+		t.indexUpdate(ri, old, next)
 		updated++
 	}
 	return updated, nil

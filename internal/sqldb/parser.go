@@ -119,6 +119,9 @@ func parseType(kw string) (Kind, bool) {
 
 func (p *parser) createTable() (Statement, error) {
 	p.next() // CREATE
+	if p.acceptKw("INDEX") {
+		return p.createIndex()
+	}
 	if err := p.expectKw("TABLE"); err != nil {
 		return nil, err
 	}
@@ -248,6 +251,40 @@ func (p *parser) parenIdentList() ([]string, error) {
 		return nil, err
 	}
 	return cols, nil
+}
+
+// createIndex parses the tail of CREATE INDEX [IF NOT EXISTS] name ON
+// table (col, ...); the CREATE INDEX keywords are already consumed.
+func (p *parser) createIndex() (Statement, error) {
+	ci := &CreateIndex{}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		ci.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ci.Name = name
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ci.Table = table
+	cols, err := p.parenIdentList()
+	if err != nil {
+		return nil, err
+	}
+	ci.Cols = cols
+	return ci, nil
 }
 
 func (p *parser) dropTable() (Statement, error) {

@@ -16,11 +16,17 @@ type fileFormat struct {
 }
 
 type tableDTO struct {
-	Name   string
-	Cols   []Column
-	PKCols []string
-	FKs    []ForeignKey
-	Rows   [][]Value
+	Name    string
+	Cols    []Column
+	PKCols  []string
+	FKs     []ForeignKey
+	Indexes []indexDTO // definitions only; contents rebuild on load
+	Rows    [][]Value
+}
+
+type indexDTO struct {
+	Name string
+	Cols []string
 }
 
 const (
@@ -35,13 +41,17 @@ func (db *DB) Save(w io.Writer) error {
 	ff := fileFormat{Magic: fileMagic, Version: fileVersion}
 	for _, name := range db.order {
 		t := db.tables[name]
-		ff.Tables = append(ff.Tables, tableDTO{
+		td := tableDTO{
 			Name:   t.Name,
 			Cols:   t.Cols,
 			PKCols: t.PKCols,
 			FKs:    t.FKs,
 			Rows:   t.Rows,
-		})
+		}
+		for _, ix := range t.Indexes {
+			td.Indexes = append(td.Indexes, indexDTO{Name: ix.Name, Cols: ix.Cols})
+		}
+		ff.Tables = append(ff.Tables, td)
 	}
 	if err := gob.NewEncoder(w).Encode(&ff); err != nil {
 		return fmt.Errorf("sqldb: save: %w", err)
@@ -70,6 +80,16 @@ func (db *DB) Load(r io.Reader) error {
 			PKCols: td.PKCols,
 			FKs:    td.FKs,
 			Rows:   td.Rows,
+		}
+		for _, ixd := range td.Indexes {
+			if err := t.addIndex(ixd.Name, ixd.Cols); err != nil {
+				return fmt.Errorf("sqldb: load table %s: %w", td.Name, err)
+			}
+		}
+		// Images from before secondary indexes existed carry no index
+		// definitions; recreate the automatic FK indexes.
+		if err := t.ensureFKIndexes(); err != nil {
+			return fmt.Errorf("sqldb: load table %s: %w", td.Name, err)
 		}
 		if err := t.rebuildIndex(); err != nil {
 			return fmt.Errorf("sqldb: load table %s: %w", td.Name, err)

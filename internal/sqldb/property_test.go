@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -267,5 +268,174 @@ func TestPropertyTableRegistryConsistent(t *testing.T) {
 		if got[i] != want[i] {
 			t.Errorf("tables[%d] = %q, want %q", i, got[i], want[i])
 		}
+	}
+}
+
+// valueKey renders a value for result comparison in the index properties.
+func valueKey(v Value) string {
+	switch v.K {
+	case KNull:
+		return "∅"
+	case KInt:
+		return fmt.Sprintf("i%d", v.I)
+	case KReal:
+		return fmt.Sprintf("r%v", v.R)
+	case KText:
+		return "t" + v.S
+	default:
+		return "b" + string(v.B)
+	}
+}
+
+func rowsKey(rows [][]Value) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		s := ""
+		for _, v := range row {
+			s += valueKey(v) + "|"
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameRows(a, b [][]Value) bool {
+	ka, kb := rowsKey(a), rowsKey(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randIndexedDB builds a table with a PK, a secondary index, and random
+// contents drawn from a small domain (so equality predicates hit many
+// rows and NULLs appear).
+func randIndexedDB(rng *rand.Rand, n int) *DB {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, s TEXT)`)
+	db.MustExec(`CREATE INDEX t_a ON t (a)`)
+	for i := 0; i < n; i++ {
+		a := Null()
+		if rng.Intn(5) > 0 {
+			a = Int(rng.Int63n(4))
+		}
+		db.MustExec(`INSERT INTO t VALUES (?, ?, ?)`,
+			Int(int64(i)), a, Text(fmt.Sprintf("s%d", rng.Intn(3))))
+	}
+	return db
+}
+
+// Property: index-backed SELECT returns exactly the rows a full scan
+// returns, for equality predicates over PK, indexed, and unindexed
+// columns — including predicates a full scan treats specially (NULL
+// comparisons, kind mismatches).
+func TestPropertyIndexSelectEqualsFullScan(t *testing.T) {
+	queries := []struct {
+		sql  string
+		args func(rng *rand.Rand) []Value
+	}{
+		{`SELECT * FROM t WHERE id = ?`, func(rng *rand.Rand) []Value { return []Value{Int(rng.Int63n(40))} }},
+		{`SELECT * FROM t WHERE a = ?`, func(rng *rand.Rand) []Value { return []Value{Int(rng.Int63n(5))} }},
+		{`SELECT * FROM t WHERE a = ? AND s = ?`, func(rng *rand.Rand) []Value {
+			return []Value{Int(rng.Int63n(5)), Text(fmt.Sprintf("s%d", rng.Intn(4)))}
+		}},
+		{`SELECT * FROM t WHERE s = ? AND id = ?`, func(rng *rand.Rand) []Value {
+			return []Value{Text(fmt.Sprintf("s%d", rng.Intn(4))), Int(rng.Int63n(40))}
+		}},
+		{`SELECT * FROM t WHERE a = ?`, func(rng *rand.Rand) []Value { return []Value{Null()} }},
+		{`SELECT * FROM t WHERE a = ?`, func(rng *rand.Rand) []Value { return []Value{Text("not-an-int")} }},
+		{`SELECT id FROM t WHERE a = ? ORDER BY id`, func(rng *rand.Rand) []Value { return []Value{Int(rng.Int63n(4))} }},
+	}
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randIndexedDB(rng, int(nRaw)%40+1)
+		for _, q := range queries {
+			args := q.args(rng)
+			indexed, errIdx := db.Query(q.sql, args...)
+			db.disableIndexSelect = true
+			full, errFull := db.Query(q.sql, args...)
+			db.disableIndexSelect = false
+			if (errIdx == nil) != (errFull == nil) {
+				t.Logf("error divergence: %s args=%v idx=%v full=%v", q.sql, args, errIdx, errFull)
+				return false
+			}
+			if errIdx != nil {
+				continue
+			}
+			if !sameRows(indexed.Rows, full.Rows) {
+				t.Logf("divergence: %s args=%v indexed=%d full=%d",
+					q.sql, args, len(indexed.Rows), len(full.Rows))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a random interleaving of INSERT/UPDATE/DELETE statements with
+// equality predicates leaves an indexed database and a full-scan-only
+// database with identical contents — indexes stay consistent through
+// row mutation and compaction.
+func TestPropertyIndexMutationsMatchFullScan(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw)%80 + 10
+		indexed := randIndexedDB(rng, 10)
+		full := Open()
+		full.disableIndexSelect = true
+		full.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, s TEXT)`)
+		// Mirror the starting rows.
+		start, err := indexed.Query(`SELECT * FROM t`)
+		if err != nil {
+			return false
+		}
+		for _, row := range start.Rows {
+			full.MustExec(`INSERT INTO t VALUES (?, ?, ?)`, row[0], row[1], row[2])
+		}
+		next := int64(100)
+		for i := 0; i < ops; i++ {
+			var sql string
+			var args []Value
+			switch rng.Intn(3) {
+			case 0:
+				sql = `INSERT INTO t VALUES (?, ?, ?)`
+				args = []Value{Int(next), Int(rng.Int63n(4)), Text(fmt.Sprintf("s%d", rng.Intn(3)))}
+				next++
+			case 1:
+				sql = `UPDATE t SET a = ? WHERE a = ?`
+				args = []Value{Int(rng.Int63n(4)), Int(rng.Int63n(4))}
+			default:
+				sql = `DELETE FROM t WHERE a = ? AND s = ?`
+				args = []Value{Int(rng.Int63n(4)), Text(fmt.Sprintf("s%d", rng.Intn(3)))}
+			}
+			nIdx, errIdx := indexed.Exec(sql, args...)
+			nFull, errFull := full.Exec(sql, args...)
+			if (errIdx == nil) != (errFull == nil) || nIdx != nFull {
+				t.Logf("op divergence: %s args=%v idx=(%d,%v) full=(%d,%v)",
+					sql, args, nIdx, errIdx, nFull, errFull)
+				return false
+			}
+		}
+		a, err := indexed.Query(`SELECT * FROM t`)
+		if err != nil {
+			return false
+		}
+		b, err := full.Query(`SELECT * FROM t`)
+		if err != nil {
+			return false
+		}
+		return sameRows(a.Rows, b.Rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
 	}
 }

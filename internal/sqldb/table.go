@@ -25,8 +25,11 @@ type Table struct {
 	Cols    []Column
 	PKCols  []string
 	FKs     []ForeignKey
+	Indexes []*Index
 	Rows    [][]Value
 	pkIndex map[string]int // primary key tuple -> row index
+	pkCols  []int          // cached PKCols positions
+	fkCols  [][]int        // cached FK column positions, parallel to FKs
 }
 
 // colIndex returns the index of a column by name.
@@ -52,65 +55,104 @@ func (t *Table) colIndexes(names []string) ([]int, error) {
 	return out, nil
 }
 
+// pkColIdx returns the cached positions of the primary key columns.
+func (t *Table) pkColIdx() []int {
+	if t.pkCols == nil && len(t.PKCols) > 0 {
+		idx, err := t.colIndexes(t.PKCols)
+		if err != nil {
+			return nil
+		}
+		t.pkCols = idx
+	}
+	return t.pkCols
+}
+
+// fkColIdx returns the cached positions of the i-th foreign key's columns.
+func (t *Table) fkColIdx(i int) ([]int, error) {
+	if t.fkCols == nil {
+		t.fkCols = make([][]int, len(t.FKs))
+	}
+	if t.fkCols[i] == nil {
+		idx, err := t.colIndexes(t.FKs[i].Cols)
+		if err != nil {
+			return nil, err
+		}
+		t.fkCols[i] = idx
+	}
+	return t.fkCols[i], nil
+}
+
 // pkKey extracts the primary key tuple of a row as an index key. Returns
 // "" when the table has no primary key.
 func (t *Table) pkKey(row []Value) string {
 	if len(t.PKCols) == 0 {
 		return ""
 	}
-	idx, err := t.colIndexes(t.PKCols)
-	if err != nil {
-		return ""
-	}
-	vals := make([]Value, len(idx))
-	for i, ci := range idx {
-		vals[i] = row[ci]
-	}
-	return keyString(vals)
+	return rowKey(row, t.pkColIdx())
 }
 
-// rebuildIndex reconstructs the primary key index from the rows.
+// rebuildIndex reconstructs the primary key index and every secondary
+// index from the rows.
 func (t *Table) rebuildIndex() error {
 	if len(t.PKCols) == 0 {
 		t.pkIndex = nil
-		return nil
-	}
-	t.pkIndex = make(map[string]int, len(t.Rows))
-	for i, row := range t.Rows {
-		k := t.pkKey(row)
-		if _, dup := t.pkIndex[k]; dup {
-			return fmt.Errorf("sqldb: duplicate primary key %s in table %s", k, t.Name)
+	} else {
+		t.pkIndex = make(map[string]int, len(t.Rows))
+		for i, row := range t.Rows {
+			k := t.pkKey(row)
+			if _, dup := t.pkIndex[k]; dup {
+				return fmt.Errorf("sqldb: duplicate primary key %s in table %s", k, t.Name)
+			}
+			t.pkIndex[k] = i
 		}
-		t.pkIndex[k] = i
+	}
+	for _, ix := range t.Indexes {
+		ix.populate(t.Rows)
 	}
 	return nil
 }
 
+// indexInsert records a freshly appended row (at position ri) in every
+// secondary index.
+func (t *Table) indexInsert(ri int, row []Value) {
+	for _, ix := range t.Indexes {
+		ix.insert(ri, row)
+	}
+}
+
+// indexUpdate re-keys row ri in every secondary index after an update.
+func (t *Table) indexUpdate(ri int, old, next []Value) {
+	for _, ix := range t.Indexes {
+		ix.update(ri, old, next)
+	}
+}
+
 // checkRow validates a row against column constraints (type, NOT NULL)
-// and coerces values to the column types. It does not check uniqueness or
-// foreign keys; those need DB context.
+// and coerces values to the column types in place (callers pass freshly
+// built rows). It does not check uniqueness or foreign keys; those need
+// DB context.
 func (t *Table) checkRow(row []Value) ([]Value, error) {
 	if len(row) != len(t.Cols) {
 		return nil, fmt.Errorf("sqldb: table %s has %d columns, got %d values",
 			t.Name, len(t.Cols), len(row))
 	}
-	out := make([]Value, len(row))
 	for i, v := range row {
 		c := t.Cols[i]
 		if v.IsNull() {
 			if c.NotNull {
 				return nil, fmt.Errorf("sqldb: column %s.%s is NOT NULL", t.Name, c.Name)
 			}
-			out[i] = v
 			continue
 		}
-		cv, err := coerce(v, c.Type)
-		if err != nil {
-			return nil, fmt.Errorf("sqldb: column %s.%s: %w", t.Name, c.Name, err)
+		if v.K != c.Type {
+			cv, err := coerce(v, c.Type)
+			if err != nil {
+				return nil, fmt.Errorf("sqldb: column %s.%s: %w", t.Name, c.Name, err)
+			}
+			row[i] = cv
 		}
-		out[i] = cv
 	}
-	return out, nil
+	return row, nil
 }
 
 // hasPKRow reports whether a row with the given key tuple values (in

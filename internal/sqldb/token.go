@@ -36,7 +36,7 @@ var keywords = map[string]bool{
 	"IS": true, "IN": true, "AS": true, "DISTINCT": true,
 	"INTEGER": true, "INT": true, "REAL": true, "TEXT": true, "BLOB": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
-	"UNIQUE": true,
+	"UNIQUE": true, "INDEX": true, "ON": true,
 }
 
 // lex tokenizes a SQL statement.

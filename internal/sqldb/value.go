@@ -9,6 +9,7 @@ package sqldb
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -240,28 +241,54 @@ func coerce(v Value, want Kind) (Value, error) {
 	return Value{}, fmt.Errorf("sqldb: cannot store %s value in %s column", v.K, want)
 }
 
+// appendValueKey appends a value's unique key encoding. Text and blob
+// values are length-prefixed so raw bytes need no quoting.
+func appendValueKey(buf []byte, v Value) []byte {
+	// Normalise ints and reals so 1 and 1.0 collide, as SQL
+	// uniqueness requires.
+	switch v.K {
+	case KReal:
+		if v.R == float64(int64(v.R)) {
+			buf = append(buf, 'i', ':')
+			buf = strconv.AppendInt(buf, int64(v.R), 10)
+		} else {
+			buf = append(buf, 'r', ':')
+			buf = strconv.AppendFloat(buf, v.R, 'g', -1, 64)
+		}
+	case KInt:
+		buf = append(buf, 'i', ':')
+		buf = strconv.AppendInt(buf, v.I, 10)
+	case KText:
+		buf = append(buf, 't', ':')
+		buf = strconv.AppendInt(buf, int64(len(v.S)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, v.S...)
+	case KBlob:
+		buf = append(buf, 'b', ':')
+		buf = strconv.AppendInt(buf, int64(len(v.B)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, v.B...)
+	default:
+		buf = append(buf, 'n')
+	}
+	return append(buf, ';')
+}
+
 // keyString encodes a value tuple as a unique map key for indexes.
 func keyString(vals []Value) string {
-	var sb strings.Builder
+	buf := make([]byte, 0, 48)
 	for _, v := range vals {
-		// Normalise ints and reals so 1 and 1.0 collide, as SQL
-		// uniqueness requires.
-		switch v.K {
-		case KReal:
-			if v.R == float64(int64(v.R)) {
-				fmt.Fprintf(&sb, "i:%d;", int64(v.R))
-				continue
-			}
-			fmt.Fprintf(&sb, "r:%g;", v.R)
-		case KInt:
-			fmt.Fprintf(&sb, "i:%d;", v.I)
-		case KText:
-			fmt.Fprintf(&sb, "t:%q;", v.S)
-		case KBlob:
-			fmt.Fprintf(&sb, "b:%x;", v.B)
-		default:
-			sb.WriteString("n;")
-		}
+		buf = appendValueKey(buf, v)
 	}
-	return sb.String()
+	return string(buf)
+}
+
+// rowKey encodes the projection of a row onto the given column positions,
+// without materialising the value tuple.
+func rowKey(row []Value, colIdx []int) string {
+	buf := make([]byte, 0, 48)
+	for _, ci := range colIdx {
+		buf = appendValueKey(buf, row[ci])
+	}
+	return string(buf)
 }

@@ -57,7 +57,7 @@ func runPIDSwifi(t *testing.T, camp *campaign.Campaign) (*core.Summary, *campaig
 		t.Fatal(err)
 	}
 	tgt := New(thor.DefaultConfig(), Runtime)
-	r, err := core.NewRunner(tgt, core.RuntimeSWIFI, camp, tsd, core.WithStore(st))
+	r, err := core.NewRunner(tgt, core.RuntimeSWIFI, camp, tsd, core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,7 +62,7 @@ func runCampaign(t *testing.T, mode Mode, camp *campaign.Campaign) (*core.Summar
 	if mode == Runtime {
 		alg = core.RuntimeSWIFI
 	}
-	r, err := core.NewRunner(tgt, alg, camp, tsd, core.WithStore(st))
+	r, err := core.NewRunner(tgt, alg, camp, tsd, core.WithSink(st))
 	if err != nil {
 		t.Fatal(err)
 	}
