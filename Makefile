@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 15s
 
-.PHONY: tier1 build vet test race bench
+.PHONY: tier1 tier2 build vet test race bench fuzz
 
 # tier1 is the gate every PR must keep green: full build, vet, and the
 # test suite under the race detector.
@@ -8,6 +9,17 @@ tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# tier2 is the crash-safety suite: the WAL crash-injection and resume
+# equivalence tests, the golden end-to-end report, plus a short fuzz
+# smoke of the SQL front end.
+tier2:
+	$(GO) test ./internal/sqldb/ -run 'WAL|Crash|Checkpoint|Stale|OpenAt|Replay' -count 1
+	$(GO) test ./internal/campaign/ -run 'Checkpoint|RecoverCursor|Sink' -count 1
+	$(GO) test ./internal/core/ -run 'Resume|Pause' -count 1
+	$(GO) test ./cmd/goofi/ -run 'Resume' -count 1
+	$(GO) test . -run 'Golden' -count 1
+	$(MAKE) fuzz FUZZTIME=5s
 
 build:
 	$(GO) build ./...
@@ -23,3 +35,11 @@ race:
 
 bench:
 	$(GO) test . -run xxx -bench . -benchtime 1x
+
+# fuzz runs each native Go fuzzer for a bounded time (override with
+# FUZZTIME=1m etc.). New corpus entries land in the build cache;
+# crashers land in internal/sqldb/testdata/fuzz and should be committed
+# alongside the fix.
+fuzz:
+	$(GO) test ./internal/sqldb/ -run '^$$' -fuzz FuzzParseSQL -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sqldb/ -run '^$$' -fuzz FuzzLexer -fuzztime $(FUZZTIME)

@@ -8,6 +8,7 @@ package goofi_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"goofi/internal/analysis"
@@ -341,6 +342,49 @@ func BenchmarkLoggedStateInsert(b *testing.B) {
 		if err := st.LogExperiment(rec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLoggedStateInsertWAL is E7 with durability on: the store sits
+// on a file-backed database whose writes go through the write-ahead log
+// (SyncBarrier, the goofi CLI default — appends buffer, fsync only at
+// checkpoint barriers). The gap to BenchmarkLoggedStateInsert is the
+// price of crash recovery on the insert hot path.
+func BenchmarkLoggedStateInsertWAL(b *testing.B) {
+	db, err := sqldb.OpenAt(filepath.Join(b.TempDir(), "bench.db"), sqldb.SyncBarrier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	st, err := campaign.NewStore(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.PutTargetSystem(scifi.TargetSystemData("thor-board")); err != nil {
+		b.Fatal(err)
+	}
+	camp := sortCampaign("bench-e7", 1, 1, []string{"cpu"})
+	if err := st.PutCampaign(camp); err != nil {
+		b.Fatal(err)
+	}
+	state := campaign.StateVector{Memory: map[string][]byte{"x": make([]byte, 64)}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := &campaign.ExperimentRecord{
+			Name:     fmt.Sprintf("bench-e7/row%09d", i),
+			Campaign: "bench-e7",
+			Step:     -1,
+			Data:     campaign.ExperimentData{Seq: i},
+			State:    state,
+		}
+		if err := st.LogExperiment(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := db.Barrier(); err != nil {
+		b.Fatal(err)
 	}
 }
 

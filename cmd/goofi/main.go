@@ -7,12 +7,16 @@
 //	goofi setup      — set-up phase (Fig 6): define or merge campaigns
 //	goofi run        — fault injection phase (Fig 7): execute a campaign
 //	                   with live progress
+//	goofi resume     — continue an interrupted campaign from its last
+//	                   durable checkpoint
 //	goofi analyze    — analysis phase (§3.4): classify outcomes and run
 //	                   the generated SQL analysis
 //	goofi list       — show stored targets and campaigns
 //	goofi schema     — print the database schema (Fig 4)
 //
-// All state lives in a GOOFI database file (-db).
+// All state lives in a GOOFI database file (-db) plus its write-ahead
+// log (-db path + ".wal"); a killed process recovers both on the next
+// open.
 package main
 
 import (
@@ -53,6 +57,7 @@ commands:
   setup      define a fault injection campaign (Fig 6)
   merge      merge campaigns into a new one
   run        execute a campaign (Fig 7)
+  resume     continue an interrupted campaign from its checkpoint
   analyze    classify campaign results (paper §3.4)
   list       list stored targets and campaigns
   schema     print the GOOFI database schema (Fig 4)
@@ -75,6 +80,8 @@ func run(args []string) error {
 		return cmdMerge(rest)
 	case "run":
 		return cmdRun(rest)
+	case "resume":
+		return cmdResume(rest)
 	case "analyze":
 		return cmdAnalyze(rest)
 	case "list":
@@ -92,16 +99,17 @@ func run(args []string) error {
 	}
 }
 
-// openStore loads (or creates) the GOOFI database at path.
+// openStore opens (or creates) the GOOFI database at path with its
+// write-ahead log. Crash recovery runs inside OpenAt: the snapshot is
+// loaded and surviving log records are replayed on top.
 func openStore(path string) (*campaign.Store, *sqldb.DB, error) {
-	db := sqldb.Open()
-	if _, err := os.Stat(path); err == nil {
-		if err := db.LoadFile(path); err != nil {
-			return nil, nil, err
-		}
+	db, err := sqldb.OpenAt(path, sqldb.SyncBarrier)
+	if err != nil {
+		return nil, nil, err
 	}
 	st, err := campaign.NewStore(db)
 	if err != nil {
+		db.Close()
 		return nil, nil, err
 	}
 	return st, db, nil
@@ -121,6 +129,7 @@ func cmdConfigure(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	var tsd *campaign.TargetSystemData
 	switch *kind {
 	case "scifi":
@@ -135,7 +144,7 @@ func cmdConfigure(args []string) error {
 	if err := st.PutTargetSystem(tsd); err != nil {
 		return err
 	}
-	if err := db.SaveFile(*dbPath); err != nil {
+	if err := db.Checkpoint(); err != nil {
 		return err
 	}
 	fmt.Printf("configured target %q (%s) with %d chain(s)\n", *target, *kind, len(tsd.Chains))
@@ -223,10 +232,11 @@ func cmdSetup(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	if err := st.PutCampaign(camp); err != nil {
 		return err
 	}
-	if err := db.SaveFile(*dbPath); err != nil {
+	if err := db.Checkpoint(); err != nil {
 		return err
 	}
 	fmt.Printf("campaign %q stored: %d experiments on %s over %v\n",
@@ -248,16 +258,34 @@ func cmdMerge(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	merged, err := st.MergeCampaigns(*name, fs.Args()...)
 	if err != nil {
 		return err
 	}
-	if err := db.SaveFile(*dbPath); err != nil {
+	if err := db.Checkpoint(); err != nil {
 		return err
 	}
 	fmt.Printf("merged %v into %q: %d experiments over %d locations\n",
 		fs.Args(), merged.Name, merged.NumExperiments, len(merged.Locations))
 	return nil
+}
+
+// targetFactory builds fresh target systems for a technique; the
+// algorithm registry key doubles as the target kind.
+func targetFactory(technique string) func() core.TargetSystem {
+	return func() core.TargetSystem {
+		switch technique {
+		case "swifi-preruntime":
+			return swifi.New(thor.DefaultConfig(), swifi.PreRuntime)
+		case "swifi-runtime":
+			return swifi.New(thor.DefaultConfig(), swifi.Runtime)
+		case "pin-level":
+			return pinlevel.New(thor.DefaultConfig())
+		default:
+			return scifi.New(thor.DefaultConfig())
+		}
+	}
 }
 
 func cmdRun(args []string) error {
@@ -268,6 +296,8 @@ func cmdRun(args []string) error {
 	rerun := fs.String("rerun", "", "re-run one experiment by name (detail mode), recording parentExperiment")
 	preFilter := fs.Bool("pre-injection", false, "enable pre-injection liveness filtering")
 	boards := fs.Int("boards", 1, "number of simulated boards to run in parallel")
+	ckpt := fs.Int("checkpoint", core.DefaultCheckpointInterval,
+		"experiments between durable checkpoints (0 disables crash recovery)")
 	quiet := fs.Bool("quiet", false, "suppress the progress line")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -279,6 +309,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	camp, err := st.GetCampaign(*name)
 	if err != nil {
 		return err
@@ -291,24 +322,15 @@ func cmdRun(args []string) error {
 	if !ok {
 		return fmt.Errorf("run: unknown technique %q", *technique)
 	}
-	factory := func() core.TargetSystem {
-		switch *technique {
-		case "swifi-preruntime":
-			return swifi.New(thor.DefaultConfig(), swifi.PreRuntime)
-		case "swifi-runtime":
-			return swifi.New(thor.DefaultConfig(), swifi.Runtime)
-		case "pin-level":
-			return pinlevel.New(thor.DefaultConfig())
-		default:
-			return scifi.New(thor.DefaultConfig())
-		}
-	}
-	target := factory()
+	factory := targetFactory(*technique)
 	// Batch LoggedSystemState writes: the scheduler flushes the sink at
 	// checkpoints and on termination, and Close drains it before save.
 	sink := campaign.NewBatchingSink(st, 0)
 	defer sink.Close()
 	opts := []core.RunnerOption{core.WithSink(sink), core.WithBoards(*boards, factory)}
+	if *ckpt > 0 {
+		opts = append(opts, core.WithCheckpoints(*ckpt))
+	}
 	if !*quiet {
 		opts = append(opts, core.WithProgress(progressLine))
 	}
@@ -319,7 +341,7 @@ func cmdRun(args []string) error {
 		}
 		opts = append(opts, core.WithInjectionFilter(a.Filter()))
 	}
-	r, err := core.NewRunner(target, alg, camp, tsd, opts...)
+	r, err := core.NewRunner(factory(), alg, camp, tsd, opts...)
 	if err != nil {
 		return err
 	}
@@ -331,11 +353,16 @@ func cmdRun(args []string) error {
 		if err := sink.Close(); err != nil {
 			return err
 		}
-		if err := db.SaveFile(*dbPath); err != nil {
+		if err := db.Checkpoint(); err != nil {
 			return err
 		}
 		fmt.Printf("\nre-ran %s as %s (outcome: %s)\n", *rerun, ex.Name, ex.Result.Outcome.Status)
 		return nil
+	}
+	// A fresh run starts from a clean slate: previous results and any
+	// stale resume cursor go.
+	if err := st.DeleteCheckpoint(camp.Name); err != nil {
+		return err
 	}
 	if err := st.DeleteExperiments(camp.Name); err != nil {
 		return err
@@ -344,18 +371,113 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	return finishCampaign(st, db, sink, camp.Name, sum, 0)
+}
+
+// finishCampaign drains the sink, clears the resume cursor of a fully
+// completed campaign, compacts the WAL into the snapshot, and prints the
+// summary. resumed is how many experiments an earlier interrupted run
+// had already contributed.
+func finishCampaign(st *campaign.Store, db *sqldb.DB, sink *campaign.BatchingSink,
+	name string, sum *core.Summary, resumed int) error {
 	if err := sink.Close(); err != nil {
 		return err
 	}
-	if err := db.SaveFile(*dbPath); err != nil {
+	camp, err := st.GetCampaign(name)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("\ncampaign %s finished: %d experiments, %d injected, %d skipped by pre-injection filter\n",
-		sum.Campaign, sum.Experiments, sum.Injected, sum.Skipped)
+	if resumed+sum.Experiments >= camp.NumExperiments {
+		if err := st.DeleteCheckpoint(name); err != nil {
+			return err
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	if resumed > 0 {
+		fmt.Printf("\ncampaign %s finished: %d experiments this run (%d restored from checkpoint), %d injected, %d skipped by pre-injection filter\n",
+			sum.Campaign, sum.Experiments, resumed, sum.Injected, sum.Skipped)
+	} else {
+		fmt.Printf("\ncampaign %s finished: %d experiments, %d injected, %d skipped by pre-injection filter\n",
+			sum.Campaign, sum.Experiments, sum.Injected, sum.Skipped)
+	}
 	for status, n := range sum.ByStatus {
 		fmt.Printf("  %-12s %d\n", status, n)
 	}
 	return nil
+}
+
+// cmdResume continues an interrupted campaign from its durable cursor:
+// already-logged experiments are skipped and the rest of the same plan
+// runs, producing results byte-identical to an uninterrupted run.
+func cmdResume(args []string) error {
+	fs := flag.NewFlagSet("resume", flag.ContinueOnError)
+	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
+	name := fs.String("campaign", "", "campaign to resume (or pass it as the positional argument)")
+	technique := fs.String("technique", "scifi", "fault injection technique: scifi, swifi-preruntime, swifi-runtime, pin-level")
+	boards := fs.Int("boards", 1, "number of simulated boards to run in parallel")
+	ckpt := fs.Int("checkpoint", core.DefaultCheckpointInterval,
+		"experiments between durable checkpoints (0 disables crash recovery)")
+	quiet := fs.Bool("quiet", false, "suppress the progress line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" && fs.NArg() > 0 {
+		*name = fs.Arg(0)
+	}
+	if *name == "" {
+		return fmt.Errorf("resume: a campaign name is required")
+	}
+	st, db, err := openStore(*dbPath)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	camp, err := st.GetCampaign(*name)
+	if err != nil {
+		return err
+	}
+	tsd, err := st.GetTargetSystem(camp.TargetName)
+	if err != nil {
+		return err
+	}
+	cp, err := st.RecoverCursor(camp.Name)
+	if err != nil {
+		return err
+	}
+	if !cp.Reference && len(cp.Completed) == 0 {
+		return fmt.Errorf("resume: campaign %q has no checkpoint or logged experiments ('goofi run' starts it)", camp.Name)
+	}
+	alg, ok := core.Algorithms()[*technique]
+	if !ok {
+		return fmt.Errorf("resume: unknown technique %q", *technique)
+	}
+	factory := targetFactory(*technique)
+	sink := campaign.NewBatchingSink(st, 0)
+	defer sink.Close()
+	opts := []core.RunnerOption{
+		core.WithSink(sink),
+		core.WithBoards(*boards, factory),
+		core.WithResume(cp),
+	}
+	if *ckpt > 0 {
+		opts = append(opts, core.WithCheckpoints(*ckpt))
+	}
+	if !*quiet {
+		opts = append(opts, core.WithProgress(progressLine))
+	}
+	r, err := core.NewRunner(factory(), alg, camp, tsd, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resuming %s: %d/%d experiments already durable\n",
+		camp.Name, len(cp.Completed), camp.NumExperiments)
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	return finishCampaign(st, db, sink, camp.Name, sum, len(cp.Completed))
 }
 
 // progressLine renders the Fig 7 progress window on one terminal line.
@@ -389,11 +511,12 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	rep, err := analysis.AnalyzeAndStore(st, *name)
 	if err != nil {
 		return err
 	}
-	if err := db.SaveFile(*dbPath); err != nil {
+	if err := db.Checkpoint(); err != nil {
 		return err
 	}
 	fmt.Print(rep.Render())
@@ -424,10 +547,11 @@ func cmdList(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	st, _, err := openStore(*dbPath)
+	st, db, err := openStore(*dbPath)
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	targets, err := st.ListTargetSystems()
 	if err != nil {
 		return err

@@ -1,10 +1,18 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/scifi"
+	"goofi/internal/sqldb"
+	"goofi/internal/thor"
 )
 
 // runCmd invokes the CLI entry point with a temp-dir database.
@@ -105,6 +113,126 @@ func TestRerunCommand(t *testing.T) {
 		if err := runCmd(t, step...); err != nil {
 			t.Fatalf("goofi %s: %v", strings.Join(step, " "), err)
 		}
+	}
+}
+
+// TestResumeCommand interrupts a checkpointed campaign mid-run,
+// abandons the database file the way a killed process would (no
+// compaction, no graceful close), and checks that `goofi resume`
+// finishes the campaign and clears the cursor.
+func TestResumeCommand(t *testing.T) {
+	db := dbPath(t)
+	for _, step := range [][]string{
+		{"configure", "-db", db},
+		{"setup", "-db", db, "-campaign", "res", "-workload", "sort16",
+			"-window", "10:1600", "-experiments", "10", "-timeout", "100000"},
+	} {
+		if err := runCmd(t, step...); err != nil {
+			t.Fatalf("goofi %s: %v", strings.Join(step, " "), err)
+		}
+	}
+
+	// The interrupted run: stop after 3 experiments, then walk away from
+	// the open database. Recovery must work from the snapshot and
+	// write-ahead log alone.
+	sdb, err := sqldb.OpenAt(db, sqldb.SyncBarrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := campaign.NewStore(sdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := st.GetCampaign("res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsd, err := st.GetTargetSystem(camp.TargetName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		r    *core.Runner
+		mu   sync.Mutex
+		seen int
+	)
+	r, err = core.NewRunner(scifi.New(thor.DefaultConfig()), core.SCIFI, camp, tsd,
+		core.WithSink(st), core.WithCheckpoints(2),
+		core.WithProgress(func(ev core.ProgressEvent) {
+			if ev.Phase != "experiment" {
+				return
+			}
+			mu.Lock()
+			seen++
+			stop := seen == 3
+			mu.Unlock()
+			if stop {
+				r.Stop()
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Experiments >= camp.NumExperiments {
+		t.Fatalf("interruption failed: %d experiments ran", sum.Experiments)
+	}
+
+	if err := runCmd(t, "resume", "-db", db, "-campaign", "res", "-quiet"); err != nil {
+		t.Fatalf("goofi resume: %v", err)
+	}
+
+	sdb2, err := sqldb.OpenAt(db, sqldb.SyncBarrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb2.Close()
+	st2, err := campaign.NewStore(sdb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st2.Experiments("res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != camp.NumExperiments+1 { // + reference run
+		t.Errorf("after resume: %d logged records, want %d", len(recs), camp.NumExperiments+1)
+	}
+	cp, err := st2.GetCheckpoint("res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != nil {
+		t.Errorf("completed campaign still has a cursor: %+v", cp)
+	}
+	sdb2.Close()
+
+	// The resumed data feeds the analysis phase like any other.
+	if err := runCmd(t, "analyze", "-db", db, "-campaign", "res"); err != nil {
+		t.Fatalf("goofi analyze after resume: %v", err)
+	}
+}
+
+func TestResumeWithoutStateFails(t *testing.T) {
+	db := dbPath(t)
+	for _, step := range [][]string{
+		{"configure", "-db", db},
+		{"setup", "-db", db, "-campaign", "fresh", "-workload", "sort16",
+			"-window", "10:1600", "-experiments", "3", "-timeout", "100000"},
+	} {
+		if err := runCmd(t, step...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Positional campaign name, never run: nothing to resume.
+	if err := runCmd(t, "resume", "-db", db, "-quiet", "fresh"); err == nil {
+		t.Error("resume of a never-started campaign succeeded")
+	}
+	if err := runCmd(t, "resume", "-db", db, "-quiet"); err == nil {
+		t.Error("resume without a campaign name succeeded")
 	}
 }
 

@@ -1,0 +1,98 @@
+// Golden end-to-end test: the quickstart campaign (README and
+// examples/quickstart) run from scratch must render the exact analysis
+// report stored in testdata/. Any change to planning, injection,
+// simulation, logging or analysis that shifts a single outcome shows up
+// as a diff here. Regenerate with
+//
+//	go test . -run TestQuickstartReportGolden -update
+package goofi_test
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"goofi/internal/analysis"
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/faultmodel"
+	"goofi/internal/scifi"
+	"goofi/internal/sqldb"
+	"goofi/internal/thor"
+	"goofi/internal/trigger"
+	"goofi/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// quickstartCampaign mirrors examples/quickstart/main.go exactly.
+func quickstartCampaign() *campaign.Campaign {
+	return &campaign.Campaign{
+		Name:           "quickstart",
+		TargetName:     "thor-board",
+		ChainName:      "internal",
+		Locations:      []string{"cpu"},
+		FaultModel:     faultmodel.Spec{Kind: faultmodel.Transient},
+		Trigger:        trigger.Spec{Kind: "cycle"},
+		RandomWindow:   [2]uint64{10, 1600},
+		NumExperiments: 100,
+		Seed:           2026,
+		Termination:    campaign.Termination{TimeoutCycles: 100_000},
+		Workload:       workload.Sort(),
+		LogMode:        campaign.LogNormal,
+	}
+}
+
+func TestQuickstartReportGolden(t *testing.T) {
+	store, err := campaign.NewStore(sqldb.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsd := scifi.TargetSystemData("thor-board")
+	if err := store.PutTargetSystem(tsd); err != nil {
+		t.Fatal(err)
+	}
+	camp := quickstartCampaign()
+	if err := store.PutCampaign(camp); err != nil {
+		t.Fatal(err)
+	}
+	runner, err := core.NewRunner(scifi.New(thor.DefaultConfig()), core.SCIFI, camp, tsd,
+		core.WithSink(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := runner.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Experiments != camp.NumExperiments {
+		t.Fatalf("ran %d experiments, want %d", sum.Experiments, camp.NumExperiments)
+	}
+	rep, err := analysis.AnalyzeAndStore(store, camp.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Render()
+
+	golden := filepath.Join("testdata", "quickstart_report.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("quickstart report drifted from golden file.\n got:\n%s\nwant:\n%s\n(run with -update if the change is intended)",
+			got, want)
+	}
+}

@@ -1,0 +1,267 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"goofi/internal/sqldb"
+)
+
+func testCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Campaign:    "camp-1",
+		PlanHash:    "abc123",
+		Seed:        42,
+		Experiments: 10,
+		Reference:   true,
+		Completed:   []int{0, 2, 5},
+	}
+}
+
+func TestCheckpointDone(t *testing.T) {
+	cp := testCheckpoint()
+	for _, seq := range []int{0, 2, 5} {
+		if !cp.Done(seq) {
+			t.Errorf("Done(%d) = false, want true", seq)
+		}
+	}
+	for _, seq := range []int{-1, 1, 3, 4, 6, 100} {
+		if cp.Done(seq) {
+			t.Errorf("Done(%d) = true, want false", seq)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	st := sinkFixture(t)
+	if got, err := st.GetCheckpoint("camp-1"); err != nil || got != nil {
+		t.Fatalf("before save: got %+v, %v; want nil, nil", got, err)
+	}
+	cp := testCheckpoint()
+	if err := st.SaveCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.GetCheckpoint("camp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.PlanHash != cp.PlanHash || got.Seed != cp.Seed ||
+		got.Experiments != cp.Experiments || !got.Reference ||
+		fmt.Sprint(got.Completed) != fmt.Sprint(cp.Completed) {
+		t.Errorf("round trip: got %+v, want %+v", got, cp)
+	}
+	// A second save is an update, not a duplicate-key failure.
+	cp.Completed = append(cp.Completed, 7)
+	cp.PlanHash = "def456"
+	if err := st.SaveCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err = st.GetCheckpoint("camp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PlanHash != "def456" || !got.Done(7) {
+		t.Errorf("after update: got %+v", got)
+	}
+	if err := st.DeleteCheckpoint("camp-1"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := st.GetCheckpoint("camp-1"); err != nil || got != nil {
+		t.Errorf("after delete: got %+v, %v; want nil, nil", got, err)
+	}
+	// Deleting an absent checkpoint is not an error.
+	if err := st.DeleteCheckpoint("camp-1"); err != nil {
+		t.Errorf("second delete: %v", err)
+	}
+}
+
+func TestSaveCheckpointRequiresCampaign(t *testing.T) {
+	st := newStore(t) // no campaign rows at all
+	cp := testCheckpoint()
+	cp.Campaign = "no-such-campaign"
+	if err := st.SaveCheckpoint(cp); err == nil {
+		t.Error("checkpoint for unknown campaign accepted (FK not enforced)")
+	}
+}
+
+// TestRecoverCursorUnionsDurableRows is the crash-window case: records
+// flush before the cursor row is written, so end-of-experiment rows can
+// be durable while the stored checkpoint still lags. RecoverCursor must
+// report the union.
+func TestRecoverCursorUnionsDurableRows(t *testing.T) {
+	st := sinkFixture(t)
+	// Stored cursor knows about 0 and 5 only.
+	if err := st.SaveCheckpoint(&Checkpoint{
+		Campaign: "camp-1", PlanHash: "h1", Seed: 42, Experiments: 10,
+		Completed: []int{0, 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// But rows 0..2 plus the reference made it to the store.
+	if err := st.LogExperiment(&ExperimentRecord{
+		Name: ReferenceName("camp-1"), Campaign: "camp-1", Step: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.LogExperiment(sinkRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := st.RecoverCursor("camp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Reference {
+		t.Error("reference row logged but Reference = false")
+	}
+	if cp.PlanHash != "h1" || cp.Seed != 42 || cp.Experiments != 10 {
+		t.Errorf("identity fields lost: %+v", cp)
+	}
+	if want := "[0 1 2 5]"; fmt.Sprint(cp.Completed) != want {
+		t.Errorf("Completed = %v, want %v", cp.Completed, want)
+	}
+}
+
+// TestRecoverCursorWithoutCheckpointRow recovers purely from logged
+// rows — the crash happened before the first cursor write.
+func TestRecoverCursorWithoutCheckpointRow(t *testing.T) {
+	st := sinkFixture(t)
+	if err := st.LogExperiment(sinkRecord(3)); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := st.RecoverCursor("camp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Reference {
+		t.Error("no reference row but Reference = true")
+	}
+	if want := "[3]"; fmt.Sprint(cp.Completed) != want {
+		t.Errorf("Completed = %v, want %v", cp.Completed, want)
+	}
+	if cp.PlanHash != "" {
+		t.Errorf("PlanHash = %q, want empty (no stored checkpoint)", cp.PlanHash)
+	}
+}
+
+func TestRecoverCursorPrunesOrphanTraces(t *testing.T) {
+	st := sinkFixture(t)
+	// Experiment 0 finished: end row plus detail steps.
+	if err := st.LogExperiment(sinkRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	done := ExperimentName("camp-1", 0)
+	for step := 0; step < 3; step++ {
+		if err := st.LogExperiment(&ExperimentRecord{
+			Name:     fmt.Sprintf("%s/step%06d", done, step),
+			Parent:   done,
+			Campaign: "camp-1",
+			Step:     step,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Experiment 1 died mid-run: steps on disk, no end row.
+	orphan := ExperimentName("camp-1", 1)
+	for step := 0; step < 2; step++ {
+		if err := st.LogExperiment(&ExperimentRecord{
+			Name:     fmt.Sprintf("%s/step%06d", orphan, step),
+			Parent:   orphan,
+			Campaign: "camp-1",
+			Step:     step,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := st.RecoverCursor("camp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "[0]"; fmt.Sprint(cp.Completed) != want {
+		t.Errorf("Completed = %v, want %v (orphan must not count)", cp.Completed, want)
+	}
+	count := func(parent string) int {
+		r, err := st.db.Query(`SELECT COUNT(*) FROM LoggedSystemState
+			WHERE parentExperiment = ? AND step >= 0`, sqldb.Text(parent))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int(r.Rows[0][0].I)
+	}
+	if n := count(done); n != 3 {
+		t.Errorf("finished experiment lost its trace: %d step rows, want 3", n)
+	}
+	if n := count(orphan); n != 0 {
+		t.Errorf("orphan trace survived: %d step rows, want 0", n)
+	}
+}
+
+// TestBatchingSinkSaveCheckpointFlushesFirst checks the crash-safety
+// invariant: by the time the cursor row exists, every record queued
+// before it is durable in the store.
+func TestBatchingSinkSaveCheckpointFlushesFirst(t *testing.T) {
+	st := sinkFixture(t)
+	s := NewBatchingSink(st, 1000) // batch never fills on its own
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.LogExperiment(sinkRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := testCheckpoint()
+	cp.Completed = []int{0, 1, 2, 3, 4}
+	if err := s.SaveCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.Experiments("camp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Errorf("cursor saved with %d durable records, want 5", len(recs))
+	}
+	got, err := st.GetCheckpoint("camp-1")
+	if err != nil || got == nil {
+		t.Fatalf("checkpoint missing after SaveCheckpoint: %+v, %v", got, err)
+	}
+}
+
+// brokenDisk fails every write, standing in for a full or dead device
+// under the write-ahead log.
+type brokenDisk struct{}
+
+func (brokenDisk) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("simulated disk full")
+}
+
+// TestSinkPropagatesWALFailure drives a write failure from the bottom of
+// the stack (the WAL's writer) up through the batching sink: the flush
+// fails with a useful error, the sink stays poisoned, and SaveCheckpoint
+// refuses to write a cursor that would claim durability it doesn't have.
+func TestSinkPropagatesWALFailure(t *testing.T) {
+	st := sinkFixture(t) // schema + fixtures written before the disk "fails"
+	st.db.AttachWAL(sqldb.NewWAL(brokenDisk{}, sqldb.SyncAlways))
+	s := NewBatchingSink(st, 2)
+	_ = s.LogExperiment(sinkRecord(0))
+	_ = s.LogExperiment(sinkRecord(1)) // completes the batch, hits the WAL
+	err := s.Flush()
+	if err == nil {
+		t.Fatal("flush over a failed WAL returned nil")
+	}
+	for _, want := range []string{"wal", "disk full"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("flush error %q does not mention %q", err, want)
+		}
+	}
+	if err := s.SaveCheckpoint(testCheckpoint()); err == nil {
+		t.Error("SaveCheckpoint wrote a cursor through a poisoned sink")
+	}
+	if err := s.LogExperiment(sinkRecord(2)); err == nil {
+		t.Error("poisoned sink accepted another record")
+	}
+	if err := s.Close(); err == nil {
+		t.Error("poisoned sink closed without error")
+	}
+}

@@ -120,6 +120,17 @@ func (s *BatchingSink) GetExperiment(name string) (*ExperimentRecord, error) {
 	return s.store.GetExperiment(name)
 }
 
+// SaveCheckpoint flushes every queued record and then stores the
+// campaign cursor. The ordering is the crash-safety invariant: a durable
+// cursor always implies its experiments are durable, so resume never
+// skips an experiment that was lost in flight.
+func (s *BatchingSink) SaveCheckpoint(cp *Checkpoint) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.store.SaveCheckpoint(cp)
+}
+
 // Close flushes outstanding records and stops the writer goroutine. The
 // sink rejects further records after Close.
 func (s *BatchingSink) Close() error {

@@ -47,6 +47,8 @@ var Schema = []string{
 	// lookups ride the automatic foreign-key index.
 	`CREATE INDEX IF NOT EXISTS LoggedSystemStateByParent
 		ON LoggedSystemState (parentExperiment)`,
+	// Durable campaign cursor for crash recovery (see checkpoint.go).
+	checkpointDDL,
 }
 
 // NewStore initialises the schema on the given database and returns a

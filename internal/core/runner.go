@@ -55,6 +55,13 @@ type Runner struct {
 	boards     int
 	factory    func() TargetSystem
 
+	// Durable checkpointing (WithCheckpoints/WithResume). onPause is set
+	// by Run for the duration of the dispatch loop so the pause
+	// checkpoint can persist the campaign cursor.
+	ckptEvery int
+	resume    *campaign.Checkpoint
+	onPause   func()
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	paused  bool
@@ -86,6 +93,34 @@ func WithBoards(boards int, factory func() TargetSystem) RunnerOption {
 // from the campaign goroutine; keep it fast.
 func WithProgress(fn func(ProgressEvent)) RunnerOption {
 	return func(r *Runner) { r.onProgress = fn }
+}
+
+// DefaultCheckpointInterval is how many completed experiments pass
+// between durable campaign checkpoints unless configured otherwise.
+const DefaultCheckpointInterval = 16
+
+// WithCheckpoints enables durable campaign checkpoints: after the
+// reference run, every `every` completed experiments (<= 0 selects
+// DefaultCheckpointInterval), on pause, and at termination, the runner
+// flushes the sink and persists the campaign cursor through the sink's
+// SaveCheckpoint. Run fails if the configured sink is not a
+// CheckpointSink. A process killed between checkpoints loses at most the
+// experiments since the last cursor — and not even those when their
+// records reached the store's write-ahead log.
+func WithCheckpoints(every int) RunnerOption {
+	if every <= 0 {
+		every = DefaultCheckpointInterval
+	}
+	return func(r *Runner) { r.ckptEvery = every }
+}
+
+// WithResume continues a campaign from a recovered cursor (typically
+// campaign.Store.RecoverCursor): completed experiments are skipped, the
+// reference run is skipped when already logged, and the plan hash is
+// validated so a changed campaign definition cannot silently resume onto
+// stale results.
+func WithResume(cp *campaign.Checkpoint) RunnerOption {
+	return func(r *Runner) { r.resume = cp }
 }
 
 // WithInjectionFilter installs a pre-injection filter (paper §4): drawn
@@ -154,6 +189,9 @@ func (r *Runner) checkpoint(ctx context.Context) bool {
 		// A flush error will poison an asynchronous sink and resurface
 		// from the termination flush; pausing itself need not fail.
 		_ = r.flushSink()
+		if r.onPause != nil {
+			r.onPause() // persist the campaign cursor (durable checkpointing)
+		}
 		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "paused"})
 	}
 	r.mu.Lock()

@@ -2,8 +2,12 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"goofi/internal/campaign"
@@ -58,6 +62,36 @@ func (r *Runner) plan() ([]plannedExperiment, int, error) {
 	return out, skipped, nil
 }
 
+// planHashOf fingerprints the campaign definition together with the full
+// injection plan drawn from it. A checkpoint stores this hash; resuming
+// validates it, so a campaign whose configuration (and therefore plan)
+// changed since the checkpoint is rejected instead of silently mixing
+// two different plans' results.
+func (r *Runner) planHashOf(planned []plannedExperiment) string {
+	h := sha256.New()
+	cfg, _ := json.Marshal(r.camp)
+	h.Write(cfg)
+	for _, pe := range planned {
+		fmt.Fprintf(h, "%d|%+v|%+v\n", pe.seq, pe.fault, pe.trig)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// saveCursor persists the campaign cursor through the checkpoint sink.
+// seqs is the caller's snapshot of completed sequence numbers; it is
+// sorted in place.
+func (r *Runner) saveCursor(ckpt CheckpointSink, hash string, ref bool, seqs []int) error {
+	sort.Ints(seqs)
+	return ckpt.SaveCheckpoint(&campaign.Checkpoint{
+		Campaign:    r.camp.Name,
+		PlanHash:    hash,
+		Seed:        r.camp.Seed,
+		Experiments: r.camp.NumExperiments,
+		Reference:   ref,
+		Completed:   seqs,
+	})
+}
+
 // boardTarget returns the target system a board should drive: a fresh one
 // from the factory when configured (required above one board), otherwise
 // the runner's own target.
@@ -100,6 +134,39 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	hash := r.planHashOf(planned)
+
+	// Durable checkpointing and resume state. doneSet marks experiments
+	// whose results are already stored from an earlier (interrupted)
+	// run; they are skipped at dispatch, so a resumed campaign replays
+	// exactly the missing remainder of the same plan.
+	var ckpt CheckpointSink
+	if r.ckptEvery > 0 {
+		cs, ok := r.sink.(CheckpointSink)
+		if !ok {
+			return nil, fmt.Errorf("core: checkpoints need a sink with SaveCheckpoint, got %T", r.sink)
+		}
+		ckpt = cs
+	}
+	doneSet := make(map[int]bool)
+	var completedSeqs []int
+	resumed := 0
+	haveRef := false
+	if r.resume != nil {
+		if r.resume.PlanHash != "" && r.resume.PlanHash != hash {
+			return nil, fmt.Errorf("core: campaign %q: plan hash mismatch (checkpoint %.12s…, current %.12s…): campaign definition changed since the checkpoint",
+				r.camp.Name, r.resume.PlanHash, hash)
+		}
+		for _, seq := range r.resume.Completed {
+			if seq >= 0 && seq < r.camp.NumExperiments && !doneSet[seq] {
+				doneSet[seq] = true
+				completedSeqs = append(completedSeqs, seq)
+			}
+		}
+		resumed = len(completedSeqs)
+		haveRef = r.resume.Reference
+	}
+
 	sum := &Summary{
 		Campaign:    r.camp.Name,
 		Skipped:     skipped,
@@ -109,17 +176,27 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 
 	// makeReferenceRun (paper Fig 2): fault-free execution whose logged
 	// state anchors the analysis phase. It runs on one board before the
-	// pool fans out.
-	r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
-	ref := r.newExperiment(-1, nil, trigger.Spec{})
-	if err := r.runOne(r.boardTarget(), ref, ""); err != nil {
-		return nil, err
+	// pool fans out — unless an earlier run already logged it.
+	if !haveRef {
+		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
+		ref := r.newExperiment(-1, nil, trigger.Spec{})
+		if err := r.runOne(r.boardTarget(), ref, ""); err != nil {
+			return nil, err
+		}
+		haveRef = true
+		if ckpt != nil {
+			// First durable cursor: the reference is in, nothing else.
+			if err := r.saveCursor(ckpt, hash, true, append([]int(nil), completedSeqs...)); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	var (
-		mu       sync.Mutex
-		firstErr error
-		done     int
+		mu        sync.Mutex
+		firstErr  error
+		done      int
+		sinceCkpt int
 	)
 	work := make(chan plannedExperiment)
 	var wg sync.WaitGroup
@@ -149,22 +226,58 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 					sum.ByMechanism[ex.Result.Outcome.Mechanism]++
 				}
 				done++
+				completedSeqs = append(completedSeqs, pe.seq)
+				var snap []int
+				if ckpt != nil {
+					sinceCkpt++
+					if sinceCkpt >= r.ckptEvery {
+						sinceCkpt = 0
+						snap = append([]int(nil), completedSeqs...)
+					}
+				}
 				ev := ProgressEvent{
 					Campaign:   r.camp.Name,
 					Phase:      "experiment",
-					Done:       done,
+					Done:       resumed + done,
 					Total:      r.camp.NumExperiments,
 					Experiment: ex.Name,
 					Outcome:    st,
 				}
 				mu.Unlock()
 				r.emit(ev)
+				if snap != nil {
+					// The cursor write flushes the sink first, so it
+					// happens outside the progress lock.
+					if err := r.saveCursor(ckpt, hash, true, snap); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}
 			}
 		}()
 	}
 
+	// A pause is a checkpoint of its own: the sink is flushed by
+	// Runner.checkpoint, then this hook persists the cursor, so killing
+	// a paused campaign is always recoverable.
+	if ckpt != nil {
+		r.onPause = func() {
+			mu.Lock()
+			snap := append([]int(nil), completedSeqs...)
+			mu.Unlock()
+			_ = r.saveCursor(ckpt, hash, true, snap)
+		}
+		defer func() { r.onPause = nil }()
+	}
+
 dispatch:
 	for _, pe := range planned {
+		if doneSet[pe.seq] {
+			continue // already durable from the interrupted run
+		}
 		if !r.checkpoint(ctx) {
 			break dispatch
 		}
@@ -188,19 +301,31 @@ dispatch:
 	if ferr := r.flushSink(); ferr != nil && firstErr == nil {
 		firstErr = ferr
 	}
+	// Termination cursor: a stop (or error) leaves a resumable
+	// checkpoint behind; on full completion it records the finished
+	// state until the caller clears it.
+	if ckpt != nil {
+		mu.Lock()
+		snap := append([]int(nil), completedSeqs...)
+		mu.Unlock()
+		if cerr := r.saveCursor(ckpt, hash, haveRef, snap); cerr != nil && firstErr == nil {
+			firstErr = cerr
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	total := resumed + sum.Experiments
 	if ctx.Err() != nil {
 		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "stopped",
-			Done: sum.Experiments, Total: r.camp.NumExperiments})
+			Done: total, Total: r.camp.NumExperiments})
 		return sum, ctx.Err()
 	}
 	phase := "done"
-	if sum.Experiments < r.camp.NumExperiments {
+	if total < r.camp.NumExperiments {
 		phase = "stopped"
 	}
 	r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: phase,
-		Done: sum.Experiments, Total: r.camp.NumExperiments})
+		Done: total, Total: r.camp.NumExperiments})
 	return sum, nil
 }

@@ -18,3 +18,13 @@ type ResultSink interface {
 	GetExperiment(name string) (*campaign.ExperimentRecord, error)
 	Flush() error
 }
+
+// CheckpointSink is a ResultSink that can persist a campaign cursor
+// durably. SaveCheckpoint must flush every record logged before it and
+// raise a durability barrier before the cursor is considered saved, so
+// that a stored checkpoint always implies its experiments survived too.
+// Both *campaign.Store and *campaign.BatchingSink satisfy it.
+type CheckpointSink interface {
+	ResultSink
+	SaveCheckpoint(*campaign.Checkpoint) error
+}

@@ -19,6 +19,15 @@ type DB struct {
 	// disableIndexSelect forces matchRows onto the full-scan path; used by
 	// property tests to compare indexed and unindexed execution.
 	disableIndexSelect bool
+
+	// Durability (optional): when a WAL is attached, every write
+	// statement is appended to it under mu, and Checkpoint compacts the
+	// log into the snapshot at snapPath. epoch counts checkpoints; a
+	// snapshot and its log carry matching epochs so a stale log is never
+	// replayed onto a newer snapshot.
+	wal      *WAL
+	snapPath string
+	epoch    uint64
 }
 
 // stmtCacheLimit bounds the parsed-statement cache. Campaign workloads
@@ -100,38 +109,49 @@ func (db *DB) Exec(sql string, args ...Value) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return db.execStmt(st, args)
+	return db.execStmt(sql, st, args)
 }
 
-func (db *DB) execStmt(st Statement, args []Value) (int64, error) {
+func (db *DB) execStmt(sql string, st Statement, args []Value) (int64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	var n int64
+	var err error
 	switch st := st.(type) {
 	case *CreateTable:
-		return 0, db.createTable(st)
+		err = db.createTable(st)
 	case *CreateIndex:
-		return 0, db.createIndex(st)
+		err = db.createIndex(st)
 	case *DropTable:
-		return 0, db.dropTable(st)
+		err = db.dropTable(st)
 	case *Insert:
-		return db.insert(st, args)
+		n, err = db.insert(st, args)
 	case *Update:
-		return db.update(st, args)
+		n, err = db.update(st, args)
 	case *Delete:
-		return db.delete(st, args)
+		n, err = db.delete(st, args)
 	case *Select:
 		return 0, fmt.Errorf("sqldb: use Query for SELECT")
 	default:
 		return 0, fmt.Errorf("sqldb: unsupported statement %T", st)
 	}
+	// Log after execution, under db.mu, so log order equals apply order.
+	// Failed statements are logged too: a mid-statement error can leave
+	// partial effects, and deterministic re-execution reproduces exactly
+	// those. The execution error stays the caller's primary error.
+	if werr := db.logStmt(sql, args); werr != nil && err == nil {
+		err = werr
+	}
+	return n, err
 }
 
 // Stmt is a prepared statement: parsed once, executable many times
 // without the per-call cache lookup. The AST is immutable after parse, so
 // a Stmt is safe for concurrent use.
 type Stmt struct {
-	db *DB
-	st Statement
+	db  *DB
+	sql string
+	st  Statement
 	// fastTable/fastN describe a single-row INSERT whose values are
 	// exactly the parameters ?0..?n-1 in order: the row can be built by
 	// copying args, skipping expression evaluation entirely.
@@ -164,7 +184,7 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Stmt{db: db, st: st}
+	s := &Stmt{db: db, sql: sql, st: st}
 	s.fastTable, s.fastN = fastInsertParams(st)
 	return s, nil
 }
@@ -181,6 +201,9 @@ func (s *Stmt) Exec(args ...Value) (int64, error) {
 			row := make([]Value, s.fastN)
 			copy(row, args)
 			err := s.db.insertRow(t, row)
+			if werr := s.db.logStmt(s.sql, args); werr != nil && err == nil {
+				err = werr
+			}
 			s.db.mu.Unlock()
 			if err != nil {
 				return 0, err
@@ -189,7 +212,7 @@ func (s *Stmt) Exec(args ...Value) (int64, error) {
 		}
 		s.db.mu.Unlock()
 	}
-	return s.db.execStmt(s.st, args)
+	return s.db.execStmt(s.sql, s.st, args)
 }
 
 // Query runs a prepared SELECT.
@@ -992,6 +1015,54 @@ func applyLimit(res *Result, sel *Select, args []Value) error {
 		}
 		if limit >= 0 && limit < int64(len(res.Rows)) {
 			res.Rows = res.Rows[:limit]
+		}
+	}
+	return nil
+}
+
+// CheckIntegrity verifies the structural invariants of every table: row
+// arity, column types, NOT NULL, primary-key uniqueness and index
+// consistency, and foreign-key validity. Crash-recovery tests call it
+// after WAL replay to assert that a torn write never surfaces as a
+// half-applied row or a dangling reference.
+func (db *DB) CheckIntegrity() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, name := range db.order {
+		t := db.tables[name]
+		for ri, row := range t.Rows {
+			if len(row) != len(t.Cols) {
+				return fmt.Errorf("sqldb: integrity: table %s row %d has %d values, want %d",
+					name, ri, len(row), len(t.Cols))
+			}
+			for ci, col := range t.Cols {
+				v := row[ci]
+				if v.IsNull() {
+					if col.NotNull {
+						return fmt.Errorf("sqldb: integrity: NULL in NOT NULL column %s.%s (row %d)",
+							name, col.Name, ri)
+					}
+					continue
+				}
+				if v.K != col.Type {
+					return fmt.Errorf("sqldb: integrity: %s value in %s column %s.%s (row %d)",
+						v.K, col.Type, name, col.Name, ri)
+				}
+			}
+			if len(t.PKCols) > 0 {
+				key := t.pkKey(row)
+				got, ok := t.pkIndex[key]
+				if !ok || got != ri {
+					return fmt.Errorf("sqldb: integrity: table %s primary-key index inconsistent at row %d", name, ri)
+				}
+			}
+			if err := db.fkCheck(t, row); err != nil {
+				return fmt.Errorf("sqldb: integrity: %w", err)
+			}
+		}
+		if len(t.PKCols) > 0 && len(t.pkIndex) != len(t.Rows) {
+			return fmt.Errorf("sqldb: integrity: table %s has %d rows but %d primary-key entries",
+				name, len(t.Rows), len(t.pkIndex))
 		}
 	}
 	return nil

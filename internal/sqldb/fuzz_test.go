@@ -1,0 +1,105 @@
+package sqldb
+
+import "testing"
+
+// fuzzSeeds is the seed corpus for the parser/lexer fuzzers: every
+// statement shape the engine supports, drawn from the GOOFI schema (Fig
+// 4), the campaign store's statements, the analysis queries and this
+// package's own test suite, plus edge shapes (quoting, blobs, unary
+// minus, aggregates, parameters) that have historically been the risky
+// corners of hand-rolled recursive-descent parsers.
+var fuzzSeeds = []string{
+	// GOOFI schema (campaign.Schema) and analysis DDL.
+	`CREATE TABLE IF NOT EXISTS TargetSystemData (
+		targetName   TEXT PRIMARY KEY,
+		testCardName TEXT NOT NULL,
+		config       BLOB NOT NULL
+	)`,
+	`CREATE TABLE IF NOT EXISTS CampaignData (
+		campaignName TEXT PRIMARY KEY,
+		targetName   TEXT NOT NULL,
+		testCardName TEXT,
+		config       BLOB NOT NULL,
+		FOREIGN KEY (targetName) REFERENCES TargetSystemData (targetName)
+	)`,
+	`CREATE TABLE IF NOT EXISTS LoggedSystemState (
+		experimentName   TEXT PRIMARY KEY,
+		parentExperiment TEXT,
+		campaignName     TEXT NOT NULL,
+		step             INTEGER NOT NULL,
+		experimentData   BLOB NOT NULL,
+		stateVector      BLOB NOT NULL,
+		FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName)
+	)`,
+	`CREATE INDEX IF NOT EXISTS LoggedSystemStateByParent
+		ON LoggedSystemState (parentExperiment)`,
+	`CREATE TABLE t (a INTEGER, b REAL, c TEXT UNIQUE, d BLOB, PRIMARY KEY (a, c))`,
+	`DROP TABLE IF EXISTS LoggedSystemState`,
+	// Store statements.
+	`INSERT INTO LoggedSystemState VALUES (?, ?, ?, ?, ?, ?)`,
+	`INSERT INTO LoggedSystemState VALUES (?, ?, ?, ?, ?, ?), (?, ?, ?, ?, ?, ?)`,
+	`UPDATE TargetSystemData SET testCardName = ?, config = ? WHERE targetName = ?`,
+	`DELETE FROM LoggedSystemState WHERE campaignName = ?`,
+	`SELECT config FROM CampaignData WHERE campaignName = ?`,
+	`SELECT experimentName, parentExperiment, campaignName, step, experimentData, stateVector
+		FROM LoggedSystemState WHERE campaignName = ? AND step = -1 ORDER BY experimentName`,
+	`SELECT DISTINCT parentExperiment FROM LoggedSystemState WHERE campaignName = ? AND step >= 0`,
+	`UPDATE CampaignCheckpoint SET planHash = ?, cursor = ? WHERE campaignName = ?`,
+	// Aggregates, grouping, ordering, limits.
+	`SELECT campaignName, COUNT(*), COUNT(DISTINCT step) FROM LoggedSystemState
+		GROUP BY campaignName ORDER BY campaignName DESC LIMIT 10 OFFSET 2`,
+	`SELECT MIN(step), MAX(step), AVG(step), SUM(step), TOTAL(step) FROM LoggedSystemState`,
+	`SELECT COUNT(*) + 1, SUM(a) / COUNT(a) FROM t`,
+	`SELECT * FROM t WHERE a IN (1, 2, 3) AND b BETWEEN -1.5 AND 2.5e3`,
+	`SELECT a AS x, b y FROM t WHERE (a = 1 OR NOT b < 2) AND c IS NOT NULL`,
+	`SELECT * FROM t WHERE c LIKE 'exp%' ORDER BY a ASC, b DESC`,
+	// Literal and operator edges.
+	`INSERT INTO t VALUES (-9223372036854775808, 1.5e-300, 'it''s', x'DEADBEEF')`,
+	`INSERT INTO t (a, b) VALUES (1 + 2 * -3 % 4, 5.0 / 0.5)`,
+	`SELECT 'unterminated`,
+	`SELECT x'0`,
+	`SELECT x'zz'`,
+	`SELECT 1e`,
+	`SELECT 1.2.3`,
+	`SELECT ?`,
+	`SELECT -?`,
+	`SELECT ((((1))))`,
+	`SELECT "double" FROM "quoted"`,
+	"",
+	"   \t\n  ",
+	`;`,
+	`SELECT`,
+	`CREATE`,
+	`CREATE TABLE`,
+	`INSERT INTO`,
+	`( ) , = < > <= >= <> != + - * / %`,
+}
+
+// FuzzParseSQL asserts the parser never panics: any input must produce a
+// statement or an error, never a crash. (A fault injection tool ought to
+// survive faults injected into its own SQL.)
+func FuzzParseSQL(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		st, err := Parse(sql)
+		if err == nil && st == nil {
+			t.Fatalf("Parse(%q) returned neither statement nor error", sql)
+		}
+	})
+}
+
+// FuzzLexer drives the tokenizer alone, so lexical crashes are not
+// masked by early parser errors.
+func FuzzLexer(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		toks, err := lex(sql)
+		if err == nil && len(toks) == 0 {
+			t.Fatalf("lex(%q) returned no tokens and no error (missing EOF)", sql)
+		}
+	})
+}

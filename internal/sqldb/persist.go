@@ -1,7 +1,9 @@
 package sqldb
 
 import (
+	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -12,7 +14,12 @@ import (
 type fileFormat struct {
 	Magic   string
 	Version int
-	Tables  []tableDTO
+	// Epoch counts checkpoints. A WAL whose epoch record differs from
+	// the snapshot's epoch predates (or postdates) the snapshot and is
+	// never replayed onto it. Images written before WAL support decode
+	// with Epoch 0, matching a fresh log.
+	Epoch  uint64
+	Tables []tableDTO
 }
 
 type tableDTO struct {
@@ -34,11 +41,19 @@ const (
 	fileVersion = 1
 )
 
-// Save writes the whole database to w.
+// Save writes the whole database to w. This is the snapshot half of
+// persistence only; with a WAL attached, use Checkpoint so the log is
+// compacted in step with the snapshot's epoch.
 func (db *DB) Save(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	ff := fileFormat{Magic: fileMagic, Version: fileVersion}
+	return db.saveLocked(w, db.epoch)
+}
+
+// saveLocked writes the snapshot with the given epoch. Callers hold
+// db.mu (read or write).
+func (db *DB) saveLocked(w io.Writer, epoch uint64) error {
+	ff := fileFormat{Magic: fileMagic, Version: fileVersion, Epoch: epoch}
 	for _, name := range db.order {
 		t := db.tables[name]
 		td := tableDTO{
@@ -101,6 +116,7 @@ func (db *DB) Load(r io.Reader) error {
 	defer db.mu.Unlock()
 	db.tables = tables
 	db.order = order
+	db.epoch = ff.Epoch
 	return nil
 }
 
@@ -133,6 +149,111 @@ func (db *DB) LoadFile(path string) error {
 	}
 	defer f.Close()
 	return db.Load(f)
+}
+
+// OpenAt opens (or creates) a durable database backed by a snapshot file
+// at path and a write-ahead log at path+".wal". Recovery runs on open:
+// the snapshot is loaded, then the log — if its epoch matches the
+// snapshot's — is replayed on top of it, with any torn tail from an
+// interrupted write truncated away. Every later write statement is
+// appended to the log, so the database loses at most the records since
+// the last durability barrier on a crash, instead of everything since
+// the last full save.
+func OpenAt(path string, policy SyncPolicy) (*DB, error) {
+	db := Open()
+	if _, err := os.Stat(path); err == nil {
+		if err := db.LoadFile(path); err != nil {
+			return nil, err
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("sqldb: open %s: %w", path, err)
+	}
+	f, err := os.OpenFile(WALPath(path), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: open wal: %w", err)
+	}
+	// Replay before attaching the WAL: replayed statements re-execute
+	// through Exec and must not be logged a second time.
+	_, good, err := db.replayWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sqldb: truncate wal tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sqldb: open wal: %w", err)
+	}
+	wal := &WAL{bw: bufio.NewWriterSize(f, 32<<10), f: f, policy: policy}
+	if good == 0 {
+		// Empty or stale log: start a fresh one for the current epoch.
+		wal.writeFrame(encodeEpochPayload(nil, db.epoch))
+		wal.syncLocked()
+		if wal.err != nil {
+			f.Close()
+			return nil, wal.err
+		}
+	}
+	db.mu.Lock()
+	db.wal = wal
+	db.snapPath = path
+	db.mu.Unlock()
+	return db, nil
+}
+
+// Checkpoint compacts the log into the snapshot: the full image is
+// written atomically (temp file + fsync + rename) with the next epoch,
+// then the log is reset to that epoch. A crash between the two steps is
+// safe — the snapshot's epoch no longer matches the old log, so recovery
+// loads the snapshot (which already contains every logged record) and
+// discards the log.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil || db.snapPath == "" {
+		return fmt.Errorf("sqldb: checkpoint: database has no backing file (use OpenAt)")
+	}
+	next := db.epoch + 1
+	tmp, err := os.CreateTemp(dirOf(db.snapPath), ".sqldb-*")
+	if err != nil {
+		return fmt.Errorf("sqldb: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := db.saveLocked(tmp, next); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sqldb: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sqldb: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), db.snapPath); err != nil {
+		return fmt.Errorf("sqldb: checkpoint: %w", err)
+	}
+	if err := db.wal.Reset(next); err != nil {
+		return err
+	}
+	db.epoch = next
+	return nil
+}
+
+// Close flushes and closes the write-ahead log. In-memory databases
+// (plain Open) close trivially.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	w := db.wal
+	db.wal = nil
+	db.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Close()
 }
 
 func dirOf(path string) string {

@@ -1,0 +1,392 @@
+package sqldb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+// SyncPolicy selects when the write-ahead log reaches stable storage.
+type SyncPolicy uint8
+
+const (
+	// SyncBarrier buffers appends and fsyncs only at explicit barriers
+	// (DB.Barrier, Checkpoint, Close). Records written since the last
+	// barrier may be lost in a crash, but a completed barrier guarantees
+	// everything before it. This is the default: the campaign layer
+	// places barriers at its own checkpoints.
+	SyncBarrier SyncPolicy = iota
+	// SyncAlways flushes and fsyncs after every record.
+	SyncAlways
+	// SyncNever buffers appends and never fsyncs; barriers still flush
+	// to the OS. Durability is left to the kernel (tests, benchmarks).
+	SyncNever
+)
+
+// WAL record framing: every record is
+//
+//	uint32 LE payload length | uint32 LE CRC32-IEEE of payload | payload
+//
+// and the payload starts with a record-kind byte. The first record of a
+// log is always an epoch record; replay treats any malformed, truncated
+// or CRC-mismatched frame as the torn tail of an interrupted write and
+// stops there.
+const (
+	walFrameHeader = 8
+	// maxWALRecord bounds a frame's payload; a corrupt length field must
+	// not trigger an arbitrarily large allocation.
+	maxWALRecord = 64 << 20
+
+	recEpoch byte = 0 // uvarint epoch; guards replay against a newer snapshot
+	recStmt  byte = 1 // uvarint len + SQL, uvarint nargs, encoded args
+)
+
+// WAL is an append-only statement log. The database appends one record
+// per write statement (under its own lock, so log order equals apply
+// order); replaying the records onto the snapshot the log was opened
+// against reproduces the exact database state, because statement
+// execution is deterministic.
+//
+// The first write error poisons the log: every later Append returns it,
+// so a campaign cannot silently keep running on a dead log.
+type WAL struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	f      *os.File // non-nil when backed by a file; enables fsync and Reset
+	policy SyncPolicy
+	err    error
+	buf    []byte // payload scratch, reused across appends
+}
+
+// NewWAL starts a fresh log on w (epoch 0 header included) with the
+// given sync policy. When w is an *os.File, barriers fsync it. Logs that
+// resume an existing file are opened by OpenAt instead.
+func NewWAL(w io.Writer, policy SyncPolicy) *WAL {
+	wal := &WAL{bw: bufio.NewWriterSize(w, 32<<10), policy: policy}
+	if f, ok := w.(*os.File); ok {
+		wal.f = f
+	}
+	wal.writeFrame(encodeEpochPayload(nil, 0))
+	return wal
+}
+
+// Append logs one statement. Safe for concurrent use, though the
+// database already serialises writers.
+func (w *WAL) Append(sql string, args []Value) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = encodeStmtPayload(w.buf[:0], sql, args)
+	w.writeFrame(w.buf)
+	if w.err == nil && w.policy == SyncAlways {
+		w.syncLocked()
+	}
+	return w.err
+}
+
+// Sync is a durability barrier: it flushes buffered records and, for
+// file-backed logs (unless SyncNever), fsyncs.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncLocked()
+	return w.err
+}
+
+// Reset discards the log and starts a new one for the given epoch; the
+// snapshot that made the old records redundant has already been written.
+// Only file-backed logs can truncate; for others Reset just starts a new
+// epoch in the stream.
+func (w *WAL) Reset(epoch uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.f != nil {
+		w.bw.Reset(w.f)
+		if err := w.f.Truncate(0); err != nil {
+			w.err = fmt.Errorf("sqldb: wal reset: %w", err)
+			return w.err
+		}
+		if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+			w.err = fmt.Errorf("sqldb: wal reset: %w", err)
+			return w.err
+		}
+	}
+	w.writeFrame(encodeEpochPayload(nil, epoch))
+	w.syncLocked()
+	return w.err
+}
+
+// Close flushes, fsyncs and closes a file-backed log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncLocked()
+	if w.f != nil {
+		if err := w.f.Close(); err != nil && w.err == nil {
+			w.err = fmt.Errorf("sqldb: wal close: %w", err)
+		}
+		w.f = nil
+	}
+	return w.err
+}
+
+// Err returns the poisoning error, if any.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *WAL) writeFrame(payload []byte) {
+	if w.err != nil {
+		return
+	}
+	var hdr [walFrameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.err = fmt.Errorf("sqldb: wal append: %w", err)
+		return
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		w.err = fmt.Errorf("sqldb: wal append: %w", err)
+	}
+}
+
+func (w *WAL) syncLocked() {
+	if w.err != nil {
+		return
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = fmt.Errorf("sqldb: wal flush: %w", err)
+		return
+	}
+	if w.f != nil && w.policy != SyncNever {
+		if err := w.f.Sync(); err != nil {
+			w.err = fmt.Errorf("sqldb: wal sync: %w", err)
+		}
+	}
+}
+
+// encodeEpochPayload appends an epoch record payload.
+func encodeEpochPayload(b []byte, epoch uint64) []byte {
+	b = append(b, recEpoch)
+	return binary.AppendUvarint(b, epoch)
+}
+
+// encodeStmtPayload appends a statement record payload: the SQL text and
+// its parameter values. Values use the same kinds as the engine: a kind
+// byte followed by varint (INTEGER), 8-byte LE float bits (REAL), or a
+// uvarint-length-prefixed byte string (TEXT, BLOB); NULL is bare.
+func encodeStmtPayload(b []byte, sql string, args []Value) []byte {
+	b = append(b, recStmt)
+	b = binary.AppendUvarint(b, uint64(len(sql)))
+	b = append(b, sql...)
+	b = binary.AppendUvarint(b, uint64(len(args)))
+	for _, v := range args {
+		b = append(b, byte(v.K))
+		switch v.K {
+		case KInt:
+			b = binary.AppendVarint(b, v.I)
+		case KReal:
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.R))
+		case KText:
+			b = binary.AppendUvarint(b, uint64(len(v.S)))
+			b = append(b, v.S...)
+		case KBlob:
+			b = binary.AppendUvarint(b, uint64(len(v.B)))
+			b = append(b, v.B...)
+		}
+	}
+	return b
+}
+
+func decodeStmtPayload(p []byte) (sql string, args []Value, err error) {
+	bad := func(what string) (string, []Value, error) {
+		return "", nil, fmt.Errorf("sqldb: wal record: bad %s", what)
+	}
+	if len(p) == 0 || p[0] != recStmt {
+		return bad("kind")
+	}
+	p = p[1:]
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 || uint64(len(p)-sz) < n {
+		return bad("sql length")
+	}
+	sql = string(p[sz : sz+int(n)])
+	p = p[sz+int(n):]
+	nargs, sz := binary.Uvarint(p)
+	if sz <= 0 || nargs > uint64(len(p)) {
+		return bad("arg count")
+	}
+	p = p[sz:]
+	args = make([]Value, 0, nargs)
+	for i := uint64(0); i < nargs; i++ {
+		if len(p) == 0 {
+			return bad("arg kind")
+		}
+		k := Kind(p[0])
+		p = p[1:]
+		switch k {
+		case KNull:
+			args = append(args, Null())
+		case KInt:
+			iv, sz := binary.Varint(p)
+			if sz <= 0 {
+				return bad("int arg")
+			}
+			p = p[sz:]
+			args = append(args, Int(iv))
+		case KReal:
+			if len(p) < 8 {
+				return bad("real arg")
+			}
+			args = append(args, Real(math.Float64frombits(binary.LittleEndian.Uint64(p))))
+			p = p[8:]
+		case KText, KBlob:
+			n, sz := binary.Uvarint(p)
+			if sz <= 0 || uint64(len(p)-sz) < n {
+				return bad("bytes arg")
+			}
+			data := p[sz : sz+int(n)]
+			p = p[sz+int(n):]
+			if k == KText {
+				args = append(args, Text(string(data)))
+			} else {
+				args = append(args, Blob(append([]byte(nil), data...)))
+			}
+		default:
+			return bad("arg kind")
+		}
+	}
+	if len(p) != 0 {
+		return bad("trailing bytes")
+	}
+	return sql, args, nil
+}
+
+// readFrame reads one frame from r. A clean EOF at a frame boundary
+// returns io.EOF; any truncation, oversize length or CRC mismatch
+// returns errTornFrame — both end replay, silently truncating the tail.
+func readFrame(r io.Reader, buf []byte) (payload []byte, frameLen int64, err error) {
+	var hdr [walFrameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, errTornFrame
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxWALRecord {
+		return nil, 0, errTornFrame
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, 0, errTornFrame
+	}
+	if crc32.ChecksumIEEE(buf) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, 0, errTornFrame
+	}
+	return buf, int64(walFrameHeader) + int64(n), nil
+}
+
+var errTornFrame = fmt.Errorf("sqldb: wal: torn or corrupt frame")
+
+// replayWAL re-executes the statement records in r onto the database.
+// It returns how many statements were applied and the byte offset of the
+// last intact frame — the caller truncates the file there to drop a torn
+// tail. A log whose epoch record does not match the database's epoch is
+// stale (it predates the loaded snapshot, which already contains its
+// effects) and is discarded wholesale (good == 0).
+//
+// Statement errors are ignored: records are appended after execution, so
+// a logged statement that failed (or partially applied) at runtime fails
+// (or partially applies) identically on replay — execution is
+// deterministic, and replay must reproduce the original state, including
+// the effects of statements that errored midway.
+func (db *DB) replayWAL(r io.Reader) (applied int, good int64, err error) {
+	br := bufio.NewReader(r)
+	var buf []byte
+	payload, frameLen, ferr := readFrame(br, buf)
+	if ferr != nil {
+		return 0, 0, nil // empty or unreadable header: start a fresh log
+	}
+	if len(payload) < 1 || payload[0] != recEpoch {
+		return 0, 0, nil
+	}
+	epoch, sz := binary.Uvarint(payload[1:])
+	if sz <= 0 || epoch != db.epoch {
+		return 0, 0, nil // stale log from before the current snapshot
+	}
+	good = frameLen
+	for {
+		payload, frameLen, ferr = readFrame(br, buf)
+		if ferr != nil {
+			return applied, good, nil // clean EOF or torn tail
+		}
+		buf = payload[:0]
+		sql, args, derr := decodeStmtPayload(payload)
+		if derr != nil {
+			return applied, good, nil // undecodable despite CRC: treat as tail
+		}
+		_, _ = db.Exec(sql, args...)
+		applied++
+		good += frameLen
+	}
+}
+
+// ReplayWAL applies a WAL stream onto the database, for tests and
+// recovery tooling; OpenAt performs replay automatically. It returns the
+// number of statements applied. The stream's epoch record must match the
+// database's current epoch or the stream is discarded (returns 0).
+func (db *DB) ReplayWAL(r io.Reader) (int, error) {
+	applied, _, err := db.replayWAL(r)
+	return applied, err
+}
+
+// AttachWAL starts logging every write statement to w. Replay of a
+// previously written log must happen before attaching, or the replayed
+// statements would be logged again.
+func (db *DB) AttachWAL(w *WAL) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.wal = w
+}
+
+// WALPath returns the write-ahead log path used for a database file.
+func WALPath(path string) string { return path + ".wal" }
+
+// Barrier is a durability barrier: everything logged so far reaches
+// stable storage before it returns. Without an attached WAL it is a
+// no-op, preserving the pure in-memory mode.
+func (db *DB) Barrier() error {
+	db.mu.RLock()
+	w := db.wal
+	db.mu.RUnlock()
+	if w == nil {
+		return nil
+	}
+	return w.Sync()
+}
+
+// logStmt appends a write statement to the WAL. Called with db.mu held,
+// so the log order is exactly the apply order.
+func (db *DB) logStmt(sql string, args []Value) error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Append(sql, args)
+}
