@@ -4,10 +4,14 @@ FUZZTIME ?= 15s
 .PHONY: tier1 tier2 build vet test race bench fuzz
 
 # tier1 is the gate every PR must keep green: full build, vet, and the
-# test suite under the race detector.
+# test suite under the race detector. The snapshot/forwarding tests in
+# core and thor run explicitly with -count 1 so the checkpoint machinery
+# is always exercised fresh under -race, never served from the cache.
 tier1:
 	$(GO) build ./...
+	$(GO) vet ./internal/core/ ./internal/thor/
 	$(GO) vet ./...
+	$(GO) test -race ./internal/core/ ./internal/thor/ ./internal/scifi/ . -run 'Snapshot|Forward' -count 1
 	$(GO) test -race ./...
 
 # tier2 is the crash-safety suite: the WAL crash-injection and resume
@@ -33,8 +37,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench regenerates the microbenchmark numbers, runs the campaign
+# benchmarks three times for stable medians, and emits the checkpoint
+# fast-forwarding comparison (3 reps, forwarding on vs off) as a
+# comparable JSON blob in BENCH_PR3.json.
 bench:
 	$(GO) test . -run xxx -bench . -benchtime 1x
+	$(GO) test . -run xxx -bench BenchmarkCampaignPID -benchtime 1x -count 3
+	$(GO) run ./cmd/goofi-bench -reps 3 -o BENCH_PR3.json
 
 # fuzz runs each native Go fuzzer for a bounded time (override with
 # FUZZTIME=1m etc.). New corpus entries land in the build cache;

@@ -25,7 +25,7 @@ import (
 	"goofi/internal/workload"
 )
 
-func benchStore(b *testing.B) (*campaign.Store, *campaign.TargetSystemData) {
+func benchStore(b testing.TB) (*campaign.Store, *campaign.TargetSystemData) {
 	b.Helper()
 	st, err := campaign.NewStore(sqldb.Open())
 	if err != nil {
@@ -77,7 +77,7 @@ func pidCampaign(name string, n int, seed int64) *campaign.Campaign {
 	}
 }
 
-func runCampaign(b *testing.B, st *campaign.Store, tsd *campaign.TargetSystemData,
+func runCampaign(b testing.TB, st *campaign.Store, tsd *campaign.TargetSystemData,
 	tgt core.TargetSystem, alg core.Algorithm, camp *campaign.Campaign,
 	opts ...core.RunnerOption) (*core.Summary, *analysis.Report) {
 	b.Helper()
@@ -134,22 +134,37 @@ func BenchmarkSCIFIExperiment(b *testing.B) {
 // control application with the taxonomy fractions reported as metrics.
 // The boards=4 variant runs the same campaign on the worker-pool
 // scheduler with four simulated boards; outcomes are identical by
-// construction (plan-first determinism), only wall clock changes.
+// construction (plan-first determinism), only wall clock changes. The
+// no-checkpoints variant disables fast-forwarding, so the gap in
+// cycles-emulated (and ns/op) against boards=1 is the checkpoint win.
 func BenchmarkCampaignPID(b *testing.B) {
 	const n = 40
-	for _, boards := range []int{1, 4} {
-		b.Run(fmt.Sprintf("boards=%d", boards), func(b *testing.B) {
+	variants := []struct {
+		name   string
+		boards int
+		fwOff  bool
+	}{
+		{"boards=1", 1, false},
+		{"boards=4", 4, false},
+		{"boards=1/no-checkpoints", 1, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
 			st, tsd := benchStore(b)
 			var opts []core.RunnerOption
-			if boards > 1 {
-				opts = append(opts, core.WithBoards(boards, func() core.TargetSystem {
+			if v.boards > 1 {
+				opts = append(opts, core.WithBoards(v.boards, func() core.TargetSystem {
 					return scifi.New(thor.DefaultConfig())
 				}))
 			}
+			if v.fwOff {
+				opts = append(opts, core.WithForwarding(core.ForwardConfig{Disabled: true}))
+			}
+			var sum *core.Summary
 			var rep *analysis.Report
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, rep = runCampaign(b, st, tsd, scifi.New(thor.DefaultConfig()), core.SCIFI,
+				sum, rep = runCampaign(b, st, tsd, scifi.New(thor.DefaultConfig()), core.SCIFI,
 					pidCampaign("bench-e1", n, int64(i+1)), opts...)
 			}
 			b.StopTimer()
@@ -158,6 +173,8 @@ func BenchmarkCampaignPID(b *testing.B) {
 			b.ReportMetric(rep.Fraction(analysis.ClassLatent), "latent/inj")
 			b.ReportMetric(rep.Fraction(analysis.ClassOverwritten), "overwritten/inj")
 			b.ReportMetric(rep.Coverage.P, "coverage")
+			b.ReportMetric(float64(sum.CyclesEmulated), "cycles-emulated")
+			b.ReportMetric(float64(sum.Forwarded), "forwarded")
 		})
 	}
 }

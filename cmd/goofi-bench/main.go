@@ -1,0 +1,189 @@
+// Command goofi-bench measures checkpoint fast-forwarding on the E1 PID
+// campaign (BenchmarkCampaignPID's workload): the same campaign runs with
+// forwarding on and off for a number of repetitions, and the wall-clock
+// times and emulated-cycle counts are emitted as one comparable JSON
+// blob. `make bench` writes the blob to BENCH_PR3.json:
+//
+//	go run ./cmd/goofi-bench -o BENCH_PR3.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"goofi/internal/analysis"
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/faultmodel"
+	"goofi/internal/scifi"
+	"goofi/internal/sqldb"
+	"goofi/internal/thor"
+	"goofi/internal/trigger"
+	"goofi/internal/workload"
+)
+
+// sample is one campaign execution's measurements.
+type sample struct {
+	WallMS         float64 `json:"wall_ms"`
+	CyclesEmulated uint64  `json:"cycles_emulated"`
+	CyclesSaved    uint64  `json:"cycles_saved"`
+	Forwarded      int     `json:"forwarded"`
+}
+
+// result is the emitted blob. The ratios compare the median forwarding-on
+// sample against the median forwarding-off sample.
+type result struct {
+	Benchmark        string   `json:"benchmark"`
+	Date             string   `json:"date"`
+	Experiments      int      `json:"experiments"`
+	Boards           int      `json:"boards"`
+	Reps             int      `json:"reps"`
+	ForwardingOn     []sample `json:"forwarding_on"`
+	ForwardingOff    []sample `json:"forwarding_off"`
+	CycleReduction   float64  `json:"emulated_cycle_reduction"`
+	WallClockSpeedup float64  `json:"wall_clock_speedup"`
+}
+
+func main() {
+	n := flag.Int("n", 40, "experiments per campaign (BenchmarkCampaignPID uses 40)")
+	reps := flag.Int("reps", 3, "repetitions per configuration")
+	boards := flag.Int("boards", 1, "simulated boards")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if err := run(*n, *reps, *boards, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "goofi-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// pidCampaign mirrors BenchmarkCampaignPID's E1 campaign definition.
+func pidCampaign(name string, n int, seed int64) *campaign.Campaign {
+	wl := workload.PID()
+	wl.OutputTail = 10
+	wl.OutputTolerance = 512
+	wl.ResultTolerance = 512
+	return &campaign.Campaign{
+		Name:           name,
+		TargetName:     "thor-board",
+		ChainName:      "internal",
+		Locations:      []string{"cpu", "icache", "dcache"},
+		FaultModel:     faultmodel.Spec{Kind: faultmodel.Transient},
+		Trigger:        trigger.Spec{Kind: "cycle"},
+		RandomWindow:   [2]uint64{200, 8000},
+		NumExperiments: n,
+		Seed:           seed,
+		Termination:    campaign.Termination{TimeoutCycles: 400_000, MaxIterations: 80},
+		Workload:       wl,
+		EnvSim:         &campaign.EnvSimSpec{Name: "first-order-plant"},
+		LogMode:        campaign.LogNormal,
+	}
+}
+
+// runOnce executes the campaign on a fresh in-memory store, including the
+// analysis pass, exactly as the benchmark does.
+func runOnce(camp *campaign.Campaign, boards int, forwarding bool) (sample, error) {
+	st, err := campaign.NewStore(sqldb.Open())
+	if err != nil {
+		return sample{}, err
+	}
+	tsd := scifi.TargetSystemData("thor-board")
+	if err := st.PutTargetSystem(tsd); err != nil {
+		return sample{}, err
+	}
+	if err := st.PutCampaign(camp); err != nil {
+		return sample{}, err
+	}
+	sink := campaign.NewBatchingSink(st, 0)
+	opts := []core.RunnerOption{
+		core.WithSink(sink),
+		core.WithBoards(boards, func() core.TargetSystem { return scifi.New(thor.DefaultConfig()) }),
+	}
+	if !forwarding {
+		opts = append(opts, core.WithForwarding(core.ForwardConfig{Disabled: true}))
+	}
+	r, err := core.NewRunner(scifi.New(thor.DefaultConfig()), core.SCIFI, camp, tsd, opts...)
+	if err != nil {
+		return sample{}, err
+	}
+	start := time.Now()
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		return sample{}, err
+	}
+	if err := sink.Close(); err != nil {
+		return sample{}, err
+	}
+	if _, err := analysis.AnalyzeAndStore(st, camp.Name); err != nil {
+		return sample{}, err
+	}
+	return sample{
+		WallMS:         float64(time.Since(start).Microseconds()) / 1000,
+		CyclesEmulated: sum.CyclesEmulated,
+		CyclesSaved:    sum.CyclesSaved,
+		Forwarded:      sum.Forwarded,
+	}, nil
+}
+
+// medianWall returns the sample with the median wall time.
+func medianWall(ss []sample) sample {
+	sorted := append([]sample(nil), ss...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j].WallMS < sorted[i].WallMS {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	return sorted[len(sorted)/2]
+}
+
+func run(n, reps, boards int, seed int64, out string) error {
+	res := result{
+		Benchmark:   "BenchmarkCampaignPID",
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Experiments: n,
+		Boards:      boards,
+		Reps:        reps,
+	}
+	// One untimed warmup per configuration so the first measured rep is
+	// not paying JIT-free Go's cold caches (page faults, branch state).
+	for _, fwd := range []bool{true, false} {
+		if _, err := runOnce(pidCampaign("bench-fwd", n, seed), boards, fwd); err != nil {
+			return err
+		}
+	}
+	for rep := 0; rep < reps; rep++ {
+		camp := pidCampaign("bench-fwd", n, seed)
+		s, err := runOnce(camp, boards, true)
+		if err != nil {
+			return err
+		}
+		res.ForwardingOn = append(res.ForwardingOn, s)
+		camp = pidCampaign("bench-fwd", n, seed)
+		s, err = runOnce(camp, boards, false)
+		if err != nil {
+			return err
+		}
+		res.ForwardingOff = append(res.ForwardingOff, s)
+	}
+	on, off := medianWall(res.ForwardingOn), medianWall(res.ForwardingOff)
+	res.CycleReduction = float64(off.CyclesEmulated) / float64(on.CyclesEmulated)
+	res.WallClockSpeedup = off.WallMS / on.WallMS
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	fmt.Printf("forwarding on: %d cycles emulated; off: %d; reduction %.2fx, wall %.2fx (%s)\n",
+		on.CyclesEmulated, off.CyclesEmulated, res.CycleReduction, res.WallClockSpeedup, out)
+	return os.WriteFile(out, blob, 0o644)
+}

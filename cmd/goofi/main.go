@@ -298,6 +298,8 @@ func cmdRun(args []string) error {
 	boards := fs.Int("boards", 1, "number of simulated boards to run in parallel")
 	ckpt := fs.Int("checkpoint", core.DefaultCheckpointInterval,
 		"experiments between durable checkpoints (0 disables crash recovery)")
+	noFwd := fs.Bool("no-checkpoints", false,
+		"disable checkpoint fast-forwarding (every experiment replays the full fault-free prefix)")
 	quiet := fs.Bool("quiet", false, "suppress the progress line")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -330,6 +332,9 @@ func cmdRun(args []string) error {
 	opts := []core.RunnerOption{core.WithSink(sink), core.WithBoards(*boards, factory)}
 	if *ckpt > 0 {
 		opts = append(opts, core.WithCheckpoints(*ckpt))
+	}
+	if *noFwd {
+		opts = append(opts, core.WithForwarding(core.ForwardConfig{Disabled: true}))
 	}
 	if !*quiet {
 		opts = append(opts, core.WithProgress(progressLine))
@@ -404,6 +409,10 @@ func finishCampaign(st *campaign.Store, db *sqldb.DB, sink *campaign.BatchingSin
 	}
 	for status, n := range sum.ByStatus {
 		fmt.Printf("  %-12s %d\n", status, n)
+	}
+	if sum.Forwarded > 0 {
+		fmt.Printf("  fast-forwarded %d experiments: %d cycles emulated, %d saved by checkpoint restore\n",
+			sum.Forwarded, sum.CyclesEmulated, sum.CyclesSaved)
 	}
 	return nil
 }

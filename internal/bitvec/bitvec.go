@@ -156,6 +156,16 @@ func (v *Vector) CopyFrom(src *Vector) error {
 	return nil
 }
 
+// Swap exchanges the contents of v and o in O(1) by swapping their word
+// storage. The lengths must match.
+func (v *Vector) Swap(o *Vector) error {
+	if v.n != o.n {
+		return fmt.Errorf("bitvec: length mismatch: %d vs %d", v.n, o.n)
+	}
+	v.words, o.words = o.words, v.words
+	return nil
+}
+
 // Equal reports whether two vectors have identical length and contents.
 func (v *Vector) Equal(o *Vector) bool {
 	if v.n != o.n {

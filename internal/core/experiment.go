@@ -40,6 +40,13 @@ type Experiment struct {
 	// Injected reports whether InjectFault actually applied a fault.
 	Injected bool
 
+	// Forwarded reports that the target restored a recorded checkpoint
+	// instead of cold-starting, skipping ForwardedFrom cycles of the
+	// fault-free prefix. These are runtime statistics only; the logged
+	// experiment record is byte-identical to a cold run's.
+	Forwarded     bool
+	ForwardedFrom uint64
+
 	// Result accumulates the experiment's observations.
 	Result Result
 

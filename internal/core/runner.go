@@ -36,6 +36,15 @@ type Summary struct {
 	Skipped     int
 	ByStatus    map[campaign.OutcomeStatus]int
 	ByMechanism map[string]int
+	// Forwarded counts experiments that restored a checkpoint instead of
+	// re-emulating the fault-free prefix.
+	Forwarded int
+	// CyclesEmulated is the total cycles actually emulated across the
+	// reference run and all experiments; CyclesSaved is the total cycles
+	// skipped by checkpoint restores. Cold execution of the same plan
+	// emulates CyclesEmulated + CyclesSaved.
+	CyclesEmulated uint64
+	CyclesSaved    uint64
 }
 
 // Runner executes fault injection campaigns: a reference run followed by
@@ -61,6 +70,10 @@ type Runner struct {
 	ckptEvery int
 	resume    *campaign.Checkpoint
 	onPause   func()
+
+	// fw tunes checkpoint fast-forwarding (WithForwarding); the zero
+	// value enables it with defaults.
+	fw ForwardConfig
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -121,6 +134,14 @@ func WithCheckpoints(every int) RunnerOption {
 // stale results.
 func WithResume(cp *campaign.Checkpoint) RunnerOption {
 	return func(r *Runner) { r.resume = cp }
+}
+
+// WithForwarding configures checkpoint fast-forwarding. Forwarding is on
+// by default (for targets implementing Forwarder and campaigns whose
+// trigger is cycle-monotonic); pass ForwardConfig{Disabled: true} to run
+// every experiment cold, or set the other fields to tune the planner.
+func WithForwarding(cfg ForwardConfig) RunnerOption {
+	return func(r *Runner) { r.fw = cfg }
 }
 
 // WithInjectionFilter installs a pre-injection filter (paper §4): drawn

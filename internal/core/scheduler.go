@@ -176,13 +176,29 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 
 	// makeReferenceRun (paper Fig 2): fault-free execution whose logged
 	// state anchors the analysis phase. It runs on one board before the
-	// pool fans out — unless an earlier run already logged it.
+	// pool fans out — unless an earlier run already logged it. When the
+	// target supports checkpoint forwarding, the reference run doubles as
+	// the recording pass: the resulting ForwardSet is handed to every
+	// board worker so faulty experiments can skip the fault-free prefix.
+	// A resumed campaign skips the reference and runs everything cold.
+	var fwSet *ForwardSet
 	if !haveRef {
 		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
 		ref := r.newExperiment(-1, nil, trigger.Spec{})
-		if err := r.runOne(r.boardTarget(), ref, ""); err != nil {
+		refTarget := r.boardTarget()
+		fwTarget, canForward := refTarget.(Forwarder)
+		if canForward {
+			if plan := r.forwardPlan(); plan != nil {
+				fwTarget.ArmForwardRecording(plan)
+			}
+		}
+		if err := r.runOne(refTarget, ref, ""); err != nil {
 			return nil, err
 		}
+		if canForward {
+			fwSet = fwTarget.TakeForwardSet()
+		}
+		sum.CyclesEmulated += ref.Result.Outcome.Cycles
 		haveRef = true
 		if ckpt != nil {
 			// First durable cursor: the reference is in, nothing else.
@@ -205,6 +221,11 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 		go func() {
 			defer wg.Done()
 			target := r.boardTarget()
+			if fwSet != nil {
+				if fwTarget, ok := target.(Forwarder); ok {
+					fwTarget.SetForwardSet(fwSet)
+				}
+			}
 			for pe := range work {
 				ex := r.newExperiment(pe.seq, &pe.fault, pe.trig)
 				err := r.runOne(target, ex, "")
@@ -225,6 +246,13 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 				if st == campaign.OutcomeDetected {
 					sum.ByMechanism[ex.Result.Outcome.Mechanism]++
 				}
+				emulated := ex.Result.Outcome.Cycles
+				if ex.Forwarded {
+					sum.Forwarded++
+					sum.CyclesSaved += ex.ForwardedFrom
+					emulated -= ex.ForwardedFrom
+				}
+				sum.CyclesEmulated += emulated
 				done++
 				completedSeqs = append(completedSeqs, pe.seq)
 				var snap []int

@@ -146,7 +146,7 @@ func TargetSystemData(name string) *campaign.TargetSystemData {
 
 // ImageSize is a helper for campaigns: the assembled size of a workload.
 func ImageSize(source string) (int, error) {
-	prog, err := asm.Assemble(source)
+	prog, err := asm.AssembleCached(source)
 	if err != nil {
 		return 0, err
 	}

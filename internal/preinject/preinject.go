@@ -74,7 +74,7 @@ func regUses(in thor.Instr) (reads, writes []int) {
 // records the register access trace. Environment-simulator campaigns are
 // supported through the same iteration-exchange protocol as the targets.
 func AnalyzeWorkload(cfg thor.Config, camp *campaign.Campaign) (*Analysis, error) {
-	prog, err := asm.Assemble(camp.Workload.Source)
+	prog, err := asm.AssembleCached(camp.Workload.Source)
 	if err != nil {
 		return nil, fmt.Errorf("preinject: assemble workload: %w", err)
 	}

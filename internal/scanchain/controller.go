@@ -12,6 +12,34 @@ import (
 // sequences on the TAP.
 type Controller struct {
 	tap *TAP
+	// scratch is the reusable shift vector for the non-destructive read
+	// path (ReadDRInto), so per-slice reads in hot loops do not allocate.
+	scratch *bitvec.Vector
+}
+
+// ControllerState is the restorable state of the controller and its TAP:
+// the state-machine position, the active instruction and the clock count.
+// The DR shift register is transient (it only holds data mid-scan) and is
+// cleared on restore.
+type ControllerState struct {
+	State  TAPState
+	IR     Instruction
+	Clocks uint64
+}
+
+// StateSnapshot captures the controller state for campaign checkpoints.
+func (c *Controller) StateSnapshot() ControllerState {
+	return ControllerState{State: c.tap.state, IR: c.tap.ir, Clocks: c.tap.clocks}
+}
+
+// RestoreState overwrites the controller state with a snapshot taken via
+// StateSnapshot, discarding any in-flight shift data.
+func (c *Controller) RestoreState(st ControllerState) {
+	c.tap.state = st.State
+	c.tap.ir = st.IR
+	c.tap.clocks = st.Clocks
+	c.tap.irShift = 0
+	c.tap.dr = nil
 }
 
 // NewController returns a controller for the given device, with the TAP
@@ -58,10 +86,26 @@ func (c *Controller) LoadInstruction(instr Instruction) {
 // readScanChain / injectFault / writeScanChain sequence: read with an
 // exchange of the same data, or write by exchanging modified data.
 func (c *Controller) ExchangeDR(in *bitvec.Vector) (*bitvec.Vector, error) {
+	out := bitvec.New(c.tap.drLen())
+	if err := c.ExchangeDRInto(in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExchangeDRInto is ExchangeDR writing the captured register contents
+// into out (which must have the register length) instead of allocating.
+// in and out may be the same vector: the capture overwrites each bit only
+// after it was shifted in.
+func (c *Controller) ExchangeDRInto(in, out *bitvec.Vector) error {
 	n := c.tap.drLen()
 	if in.Len() != n {
-		return nil, fmt.Errorf("scanchain: DR scan of %d bits with %d-bit input (instruction %v)",
+		return fmt.Errorf("scanchain: DR scan of %d bits with %d-bit input (instruction %v)",
 			n, in.Len(), c.tap.ActiveInstruction())
+	}
+	if out.Len() != n {
+		return fmt.Errorf("scanchain: DR scan of %d bits into %d-bit output (instruction %v)",
+			n, out.Len(), c.tap.ActiveInstruction())
 	}
 	if c.tap.State() != RunTestIdle {
 		c.park()
@@ -69,33 +113,43 @@ func (c *Controller) ExchangeDR(in *bitvec.Vector) (*bitvec.Vector, error) {
 	c.tap.Clock(true, false)  // -> Select-DR-Scan
 	c.tap.Clock(false, false) // -> Capture-DR
 	c.tap.Clock(false, false) // -> Shift-DR (no shift on this edge)
-	out := bitvec.New(n)
-	for i := 0; i < n; i++ {
-		last := i == n-1
-		tdo := c.tap.Clock(last, in.Get(i))
-		out.Set(i, tdo)
+	// n shift edges, word-at-a-time; the last edge exits to Exit1-DR.
+	if err := c.tap.BulkShiftDR(in, out); err != nil {
+		return err
 	}
 	c.tap.Clock(true, false)  // -> Update-DR
 	c.tap.Clock(false, false) // -> Run-Test/Idle
-	return out, nil
+	return nil
 }
 
 // ReadDR captures and reads the active data register without changing it:
 // it scans the register out and then scans the same value back in, so the
 // device state after Update-DR equals what was captured.
 func (c *Controller) ReadDR() (*bitvec.Vector, error) {
-	n := c.tap.drLen()
-	// First pass shifts zeros in to learn the contents...
-	out, err := c.ExchangeDR(bitvec.New(n))
-	if err != nil {
+	out := bitvec.New(c.tap.drLen())
+	if err := c.ReadDRInto(out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// ReadDRInto is ReadDR writing into a caller-provided vector, reusing the
+// controller's scratch shift vector so the double scan does not allocate.
+func (c *Controller) ReadDRInto(out *bitvec.Vector) error {
+	n := c.tap.drLen()
+	if c.scratch == nil || c.scratch.Len() != n {
+		c.scratch = bitvec.New(n)
+	} else {
+		c.scratch.Clear()
+	}
+	// First pass shifts zeros in to learn the contents...
+	if err := c.ExchangeDRInto(c.scratch, out); err != nil {
+		return err
 	}
 	// ...then restores them. Real SCIFI tools do the same double scan
-	// when a read must not perturb state.
-	if _, err := c.ExchangeDR(out); err != nil {
-		return nil, err
-	}
-	return out.Clone(), nil
+	// when a read must not perturb state. The second capture lands in
+	// the scratch vector and is discarded.
+	return c.ExchangeDRInto(out, c.scratch)
 }
 
 // WriteDR replaces the active data register contents.
@@ -118,6 +172,14 @@ func (c *Controller) ReadIDCode() (uint32, error) {
 func (c *Controller) ReadInternal() (*bitvec.Vector, error) {
 	c.LoadInstruction(InstrScanReg)
 	return c.ReadDR()
+}
+
+// ReadInternalInto reads the internal scan chain non-destructively into a
+// caller-provided vector, the allocation-free variant of ReadInternal for
+// hot loops (per-slice persistent-fault reassertion).
+func (c *Controller) ReadInternalInto(v *bitvec.Vector) error {
+	c.LoadInstruction(InstrScanReg)
+	return c.ReadDRInto(v)
 }
 
 // WriteInternal writes the device's internal scan chain.

@@ -1,0 +1,179 @@
+package scanchain
+
+import (
+	"testing"
+
+	"goofi/internal/bitvec"
+)
+
+// fakeDev is a minimal device with a mutable 64-bit internal chain.
+type fakeDev struct {
+	internal *bitvec.Vector
+	captures int
+}
+
+func newFakeDev() *fakeDev {
+	return &fakeDev{internal: bitvec.FromUint64(0xDEAD_BEEF_0BAD_F00D, 64)}
+}
+
+func (d *fakeDev) BoundaryLen() int                    { return 8 }
+func (d *fakeDev) CaptureBoundary() *bitvec.Vector     { return bitvec.New(8) }
+func (d *fakeDev) UpdateBoundary(*bitvec.Vector) error { return nil }
+func (d *fakeDev) InternalLen() int                    { return 64 }
+func (d *fakeDev) IDCode() uint32                      { return 0x1234_5678 }
+
+func (d *fakeDev) CaptureInternal() *bitvec.Vector {
+	d.captures++
+	return d.internal.Clone()
+}
+
+func (d *fakeDev) UpdateInternal(v *bitvec.Vector) error {
+	d.internal = v.Clone()
+	return nil
+}
+
+// fakeDevInto additionally implements InternalCapturerInto.
+type fakeDevInto struct{ fakeDev }
+
+func newFakeDevInto() *fakeDevInto {
+	return &fakeDevInto{fakeDev: *newFakeDev()}
+}
+
+func (d *fakeDevInto) CaptureInternalInto(v *bitvec.Vector) error {
+	d.captures++
+	v.CopyFrom(d.internal)
+	return nil
+}
+
+func TestControllerStateSnapshotRestore(t *testing.T) {
+	c := NewController(newFakeDev())
+	c.LoadInstruction(InstrScanReg)
+	st := c.StateSnapshot()
+	if st.IR != InstrScanReg || st.State != RunTestIdle {
+		t.Fatalf("snapshot = %+v", st)
+	}
+
+	// Disturb the controller, then restore.
+	c.LoadInstruction(InstrBypass)
+	if _, err := c.ExchangeDR(bitvec.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	c.RestoreState(st)
+	if got := c.TAP().ActiveInstruction(); got != InstrScanReg {
+		t.Errorf("restored IR = %v, want SCANREG", got)
+	}
+	if got := c.TAP().State(); got != RunTestIdle {
+		t.Errorf("restored state = %v, want Run-Test/Idle", got)
+	}
+	if got := c.TAP().Clocks(); got != st.Clocks {
+		t.Errorf("restored clocks = %d, want %d", got, st.Clocks)
+	}
+	// The restored controller must still scan correctly.
+	v, err := c.ReadDR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 64 {
+		t.Errorf("post-restore DR length = %d, want 64", v.Len())
+	}
+}
+
+func TestReadDRIntoMatchesReadDR(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dev  Device
+	}{
+		{"allocating-capture", newFakeDev()},
+		{"capture-into", newFakeDevInto()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewController(tc.dev)
+			c.LoadInstruction(InstrScanReg)
+			want, err := c.ReadDR()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := bitvec.New(64)
+			for i := 0; i < 3; i++ {
+				if err := c.ReadDRInto(out); err != nil {
+					t.Fatal(err)
+				}
+				if !out.Equal(want) {
+					t.Fatalf("pass %d: ReadDRInto = %v, ReadDR = %v", i, out, want)
+				}
+			}
+			// The read is non-destructive: the device still holds the
+			// original value.
+			if got, err := c.ReadInternal(); err != nil || !got.Equal(want) {
+				t.Errorf("device state perturbed by ReadDRInto: %v (%v)", got, err)
+			}
+		})
+	}
+}
+
+func TestReadInternalIntoRoundTrip(t *testing.T) {
+	c := NewController(newFakeDevInto())
+	out := bitvec.New(64)
+	if err := c.ReadInternalInto(out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Uint64(0, 64) != 0xDEAD_BEEF_0BAD_F00D {
+		t.Errorf("ReadInternalInto = %#x", out.Uint64(0, 64))
+	}
+	// Wrong-length destination is rejected, not resized.
+	if err := c.ReadDRInto(bitvec.New(63)); err == nil {
+		t.Error("ReadDRInto accepted a 63-bit vector for a 64-bit chain")
+	}
+}
+
+// TestBulkShiftMatchesBitSerial pins the word-level Shift-DR fast path
+// to the bit-serial reference: the same scan driven through the
+// Controller (bulk path) and through manual per-edge Clock calls must
+// produce the same captured data, device state, and TCK count.
+func TestBulkShiftMatchesBitSerial(t *testing.T) {
+	devA, devB := newFakeDev(), newFakeDev()
+	ctrl := NewController(devA)
+	tapB := NewTAP(devB)
+
+	// Manual path, replicating the controller's exact edge sequence.
+	for i := 0; i < 5; i++ {
+		tapB.Clock(true, false)
+	}
+	tapB.Clock(false, false) // park in Run-Test/Idle
+	tapB.Clock(true, false)  // -> Select-DR-Scan
+	tapB.Clock(true, false)  // -> Select-IR-Scan
+	tapB.Clock(false, false) // -> Capture-IR
+	tapB.Clock(false, false) // -> Shift-IR
+	for i := 0; i < 4; i++ {
+		tapB.Clock(i == 3, uint8(InstrScanReg)&(1<<uint(i)) != 0)
+	}
+	tapB.Clock(true, false)  // -> Update-IR
+	tapB.Clock(false, false) // -> Run-Test/Idle
+	tapB.Clock(true, false)  // -> Select-DR-Scan
+	tapB.Clock(false, false) // -> Capture-DR
+	tapB.Clock(false, false) // -> Shift-DR
+	in := bitvec.FromUint64(0x0123_4567_89AB_CDEF, 64)
+	outB := bitvec.New(64)
+	for i := 0; i < 64; i++ {
+		outB.Set(i, tapB.Clock(i == 63, in.Get(i)))
+	}
+	tapB.Clock(true, false)  // -> Update-DR
+	tapB.Clock(false, false) // -> Run-Test/Idle
+
+	// Bulk path through the controller.
+	ctrl.LoadInstruction(InstrScanReg)
+	outA, err := ctrl.ExchangeDR(in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !outA.Equal(outB) {
+		t.Errorf("captured data differs: bulk %v, bit-serial %v", outA, outB)
+	}
+	if !devA.internal.Equal(devB.internal) {
+		t.Errorf("device state differs: bulk %v, bit-serial %v", devA.internal, devB.internal)
+	}
+	if a, b := ctrl.TAP().Clocks(), tapB.Clocks(); a != b {
+		t.Errorf("TCK count differs: bulk %d, bit-serial %d", a, b)
+	}
+}

@@ -174,6 +174,17 @@ type Device interface {
 	IDCode() uint32
 }
 
+// InternalCapturerInto is an optional Device extension: a device that can
+// capture its internal chain into a caller-provided vector lets the TAP
+// reuse its DR shift register across scans instead of allocating a fresh
+// vector per Capture-DR. Hot campaign loops scan the internal chain every
+// slice, so this removes the dominant per-scan allocation.
+type InternalCapturerInto interface {
+	// CaptureInternalInto fills v (length InternalLen) with the internal
+	// state elements.
+	CaptureInternalInto(v *bitvec.Vector) error
+}
+
 // TAP is an IEEE 1149.1 TAP controller bound to a device. Clock advances
 // it one TCK rising edge at a time; higher-level sequencing lives in
 // Controller. The zero value is unusable; use NewTAP.
@@ -262,12 +273,63 @@ func (t *TAP) Clock(tms, tdi bool) (tdo bool) {
 	return tdo
 }
 
+// BulkShiftDR applies exactly n = in.Len() Shift-DR clock edges at word
+// granularity: the first n-1 with TMS low (staying in Shift-DR), the
+// last with TMS high (exiting to Exit1-DR). It requires the controller
+// to be in Shift-DR with a data register of the same length, where n
+// single Clock calls reduce to "out receives the captured register, the
+// register receives in" — observationally identical, including the TCK
+// count, but O(n/64) instead of O(n²/64). in and out may alias.
+func (t *TAP) BulkShiftDR(in, out *bitvec.Vector) error {
+	n := in.Len()
+	if t.state != ShiftDR {
+		return fmt.Errorf("scanchain: bulk shift in state %v, want Shift-DR", t.state)
+	}
+	if out.Len() != n {
+		return fmt.Errorf("scanchain: bulk shift of %d bits into %d-bit output", n, out.Len())
+	}
+	if t.dr == nil || t.dr.Len() != n {
+		// Degenerate register (BYPASS against a longer stream, or no DR
+		// at all): fall back to bit-serial clocking.
+		for i := 0; i < n; i++ {
+			out.Set(i, t.Clock(i == n-1, in.Get(i)))
+		}
+		return nil
+	}
+	if in == out {
+		// A full-length exchange through the same vector is a swap with
+		// the shift register.
+		if err := t.dr.Swap(in); err != nil {
+			return err
+		}
+	} else {
+		if err := out.CopyFrom(t.dr); err != nil {
+			return err
+		}
+		if err := t.dr.CopyFrom(in); err != nil {
+			return err
+		}
+	}
+	t.clocks += uint64(n)
+	t.state = Exit1DR
+	return nil
+}
+
 func (t *TAP) captureDR() {
 	switch t.ir {
 	case InstrExtest, InstrSample:
 		t.dr = t.dev.CaptureBoundary()
 	case InstrScanReg:
-		t.dr = t.dev.CaptureInternal()
+		if ci, ok := t.dev.(InternalCapturerInto); ok {
+			if t.dr == nil || t.dr.Len() != t.dev.InternalLen() {
+				t.dr = bitvec.New(t.dev.InternalLen())
+			}
+			if err := ci.CaptureInternalInto(t.dr); err != nil {
+				panic(fmt.Sprintf("scanchain: SCANREG capture failed: %v", err))
+			}
+		} else {
+			t.dr = t.dev.CaptureInternal()
+		}
 	case InstrIDCode:
 		t.dr = bitvec.FromUint64(uint64(t.dev.IDCode()), 32)
 	default:

@@ -1,0 +1,221 @@
+package scifi
+
+import (
+	"goofi/internal/core"
+	"goofi/internal/envsim"
+	"goofi/internal/scanchain"
+	"goofi/internal/thor"
+)
+
+// Checkpoint forwarding on the THOR-S board. During the reference run the
+// target captures full board snapshots — CPU (registers, memory, caches,
+// counters, ports, trap handlers, pending detections), scan-chain
+// controller state, iteration counter, accumulated outputs and the
+// environment simulator — at the cycles the core planner chose. Faulty
+// experiments restore the nearest snapshot at or before their injection
+// cycle inside WaitForBreakpoint and emulate only the remainder. The
+// fault-free prefix of a faulty experiment is identical to the reference
+// run (the fault is applied only at the injection point), so a restored
+// run is bit-exact with a cold one.
+
+// boardState is the target-private payload of a core.ForwardCheckpoint.
+// All fields are immutable after capture; CPU memory pages may be shared
+// between consecutive checkpoints (copy-on-write at capture time) and the
+// whole state may be restored concurrently onto many boards.
+type boardState struct {
+	cpu       *thor.Snapshot
+	ctrl      scanchain.ControllerState
+	iteration int
+	// outputs is the experiment's accumulated Result.Outputs at capture.
+	outputs map[uint16][]uint32
+	// simState restores a Snapshotter simulator directly; for simulators
+	// without snapshot support it is nil and exchangeLog replays the
+	// prefix's Exchange calls against a fresh instance instead.
+	simState    any
+	exchangeLog [][]uint32
+}
+
+// fwRecorder tracks checkpoint recording during one reference run.
+type fwRecorder struct {
+	plan *core.ForwardPlan
+	idx  int // next plan point to capture
+	set  *core.ForwardSet
+	prev *thor.Snapshot // previous snapshot, for page sharing
+	// exchangeLog accumulates the outputs passed to every sim.Exchange
+	// call of the reference run, in order, for the replay fallback. Each
+	// checkpoint keeps the prefix recorded up to its capture.
+	exchangeLog [][]uint32
+	full        bool // byte budget exhausted; recording stopped
+}
+
+// ArmForwardRecording implements core.Forwarder.
+func (t *Target) ArmForwardRecording(plan *core.ForwardPlan) {
+	t.fwRec = &fwRecorder{plan: plan, set: &core.ForwardSet{Campaign: plan.Campaign}}
+}
+
+// TakeForwardSet implements core.Forwarder.
+func (t *Target) TakeForwardSet() *core.ForwardSet {
+	rec := t.fwRec
+	t.fwRec = nil
+	if rec == nil || len(rec.set.Checkpoints) == 0 {
+		return nil
+	}
+	return rec.set
+}
+
+// SetForwardSet implements core.Forwarder.
+func (t *Target) SetForwardSet(set *core.ForwardSet) { t.fwSet = set }
+
+// fwRecording reports whether this experiment is a recording reference
+// run with plan points left to capture.
+func (t *Target) fwRecording(ex *core.Experiment) bool {
+	return t.fwRec != nil && !t.fwRec.full && t.fwRec.idx < len(t.fwRec.plan.Cycles) &&
+		ex.IsReference()
+}
+
+// fwLogExchange appends one sim.Exchange call's outputs to the replay
+// log. outs is deep-copied; log entries are immutable once appended.
+func (t *Target) fwLogExchange(ex *core.Experiment, outs []uint32) {
+	if t.fwRec == nil || !ex.IsReference() {
+		return
+	}
+	var cp []uint32
+	if outs != nil {
+		cp = append([]uint32(nil), outs...)
+	}
+	t.fwRec.exchangeLog = append(t.fwRec.exchangeLog, cp)
+}
+
+// fwMaybeRecord captures a checkpoint when the reference run has reached
+// the next planned cycle. It is called from the top of the termination
+// loop, where the CPU is always at an instruction boundary in the Running
+// state, so a restore resumes exactly where the reference continued.
+func (t *Target) fwMaybeRecord(ex *core.Experiment) {
+	if !t.fwRecording(ex) {
+		return
+	}
+	rec := t.fwRec
+	cy := t.cpu.Cycle()
+	if cy < rec.plan.Cycles[rec.idx] {
+		return
+	}
+	// Consume every plan point this boundary covers; one snapshot serves
+	// all of them.
+	for rec.idx < len(rec.plan.Cycles) && rec.plan.Cycles[rec.idx] <= cy {
+		rec.idx++
+	}
+	snap, fresh := t.cpu.SnapshotSharing(rec.prev)
+	if rec.plan.MaxBytes > 0 && rec.set.Bytes+fresh > rec.plan.MaxBytes {
+		rec.full = true
+		return
+	}
+	rec.prev = snap
+	bs := &boardState{
+		cpu:         snap,
+		ctrl:        t.ctrl.StateSnapshot(),
+		iteration:   t.iteration,
+		outputs:     cloneOutputs(ex.Result.Outputs),
+		exchangeLog: rec.exchangeLog[:len(rec.exchangeLog):len(rec.exchangeLog)],
+	}
+	if t.sim != nil {
+		if ss, ok := t.sim.(envsim.Snapshotter); ok {
+			bs.simState = ss.SnapshotState()
+		}
+	}
+	rec.set.Checkpoints = append(rec.set.Checkpoints, &core.ForwardCheckpoint{
+		Cycle:   snap.Cycle,
+		Instret: snap.Instret,
+		Bytes:   fresh,
+		State:   bs,
+	})
+	rec.set.Bytes += fresh
+}
+
+// fwSliceBudget shrinks a run-slice budget so the reference run stops at
+// the next planned checkpoint cycle instead of overshooting it.
+func (t *Target) fwSliceBudget(ex *core.Experiment, slice uint64) uint64 {
+	if !t.fwRecording(ex) {
+		return slice
+	}
+	next := t.fwRec.plan.Cycles[t.fwRec.idx]
+	if cy := t.cpu.Cycle(); next > cy && next-cy < slice {
+		return next - cy
+	}
+	return slice
+}
+
+// fwRestore fast-forwards a faulty experiment: it restores the nearest
+// recorded checkpoint at or before the injection point, so the trigger
+// wait emulates only the delta. Any disqualifying condition — no set, a
+// non-cycle-monotonic trigger, detail-mode logging, an active pin-level
+// force, a simulator that can be neither snapshotted nor replayed — makes
+// it a silent no-op and the experiment cold-starts.
+func (t *Target) fwRestore(ex *core.Experiment) {
+	set := t.fwSet
+	if set == nil || ex.IsReference() || ex.DetailSink != nil ||
+		set.Campaign != ex.Campaign.Name || t.cpu.PinForceActive() {
+		return
+	}
+	at, byInstret, ok := ex.Trigger.ForwardPoint()
+	if !ok {
+		return
+	}
+	cp := set.Nearest(at, byInstret)
+	if cp == nil {
+		return
+	}
+	bs, ok := cp.State.(*boardState)
+	if !ok {
+		return
+	}
+	// Reconstruct the simulator first: if that fails the board state is
+	// untouched and the experiment proceeds cold.
+	var sim envsim.Simulator
+	if ex.Campaign.EnvSim != nil {
+		fresh, err := t.envs.New(ex.Campaign.EnvSim.Name, ex.Campaign.EnvSim.Params)
+		if err != nil {
+			return
+		}
+		if bs.simState != nil {
+			ss, ok := fresh.(envsim.Snapshotter)
+			if !ok {
+				return
+			}
+			if err := ss.RestoreState(bs.simState); err != nil {
+				return
+			}
+		} else {
+			// Replay fallback: re-issue the prefix's Exchange calls. The
+			// produced inputs are discarded — the CPU snapshot already
+			// holds the port queues as they stood at the checkpoint.
+			for _, outs := range bs.exchangeLog {
+				fresh.Exchange(outs)
+			}
+		}
+		sim = fresh
+	}
+	if err := t.cpu.Restore(bs.cpu); err != nil {
+		return
+	}
+	t.ctrl.RestoreState(bs.ctrl)
+	t.iteration = bs.iteration
+	t.sim = sim
+	ex.Result.Outputs = cloneOutputs(bs.outputs)
+	ex.Forwarded = true
+	ex.ForwardedFrom = cp.Cycle
+}
+
+// cloneOutputs deep-copies an output map; nil stays nil.
+func cloneOutputs(m map[uint16][]uint32) map[uint16][]uint32 {
+	if m == nil {
+		return nil
+	}
+	c := make(map[uint16][]uint32, len(m))
+	for port, vals := range m {
+		c[port] = append([]uint32(nil), vals...)
+	}
+	return c
+}
+
+// Interface compliance.
+var _ core.Forwarder = (*Target)(nil)

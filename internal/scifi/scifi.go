@@ -41,6 +41,10 @@ func (d *device) InternalLen() int                { return thor.ScanLen() }
 func (d *device) CaptureInternal() *bitvec.Vector { return d.cpu.ScanRead() }
 func (d *device) IDCode() uint32                  { return IDCode }
 
+// CaptureInternalInto lets the TAP reuse its DR shift register across
+// internal scans (scanchain.InternalCapturerInto).
+func (d *device) CaptureInternalInto(v *bitvec.Vector) error { return d.cpu.ScanReadInto(v) }
+
 func (d *device) UpdateBoundary(v *bitvec.Vector) error {
 	return d.cpu.BoundaryWrite(v, d.extestDataMask, d.extestAddrMask)
 }
@@ -67,6 +71,14 @@ type Target struct {
 	recovered        int
 	detailStep       int
 	atInjectionPoint bool
+
+	// campaign-scoped checkpoint-forwarding state; preserved across
+	// InitTestCard, managed through the core.Forwarder methods.
+	fwRec *fwRecorder
+	fwSet *core.ForwardSet
+	// scanScratch is the reusable scan vector for the per-slice hot
+	// paths (persistent-fault reassertion, detail-mode state capture).
+	scanScratch *bitvec.Vector
 }
 
 // Option configures a Target.
@@ -135,13 +147,19 @@ func TargetSystemData(name string) *campaign.TargetSystemData {
 	}
 }
 
-// InitTestCard resets the board: CPU to power-on state, memory cleared,
-// TAP reset, per-experiment state discarded.
+// InitTestCard resets the board: TAP and controller reset, CPU to
+// power-on state, memory cleared, per-experiment state discarded. The
+// controller is rebuilt before the CPU is reconfigured so no stale scan
+// traffic can touch the fresh CPU state, and trap handlers and
+// breakpoints — which survive a bare CPU reset — are cleared explicitly:
+// a reused board must behave identically to a fresh one.
 func (t *Target) InitTestCard(ex *core.Experiment) error {
+	t.ctrl = scanchain.NewController(t.dev)
 	t.cpu.Reset()
 	t.cpu.ClearMemory()
+	t.cpu.ClearTrapHandlers()
+	t.cpu.ClearBreakpoints()
 	t.cpu.TraceHook = nil
-	t.ctrl = scanchain.NewController(t.dev)
 	t.prog = nil
 	t.trig = nil
 	t.sim = nil
@@ -152,9 +170,11 @@ func (t *Target) InitTestCard(ex *core.Experiment) error {
 	return nil
 }
 
-// LoadWorkload assembles the campaign's workload source.
+// LoadWorkload assembles the campaign's workload source. Assembly output
+// is cached by source hash: every experiment of a campaign shares one
+// immutable Program, and only the memory image download is per-run.
 func (t *Target) LoadWorkload(ex *core.Experiment) error {
-	prog, err := asm.Assemble(ex.Campaign.Workload.Source)
+	prog, err := asm.AssembleCached(ex.Campaign.Workload.Source)
 	if err != nil {
 		return fmt.Errorf("scifi: assemble workload %q: %w", ex.Campaign.Workload.Name, err)
 	}
@@ -187,6 +207,7 @@ func (t *Target) WriteMemory(ex *core.Experiment) error {
 		t.sim = sim
 		// Initial input data (paper §3.3: "the workload and initial
 		// input data is downloaded").
+		t.fwLogExchange(ex, nil)
 		t.cpu.Ports().PushInput(wl.InputPort, sim.Exchange(nil)...)
 	}
 	return nil
@@ -231,6 +252,9 @@ func (t *Target) WaitForBreakpoint(ex *core.Experiment) error {
 	if t.trig == nil {
 		return fmt.Errorf("scifi: WaitForBreakpoint before RunWorkload")
 	}
+	// Fast-forward over the fault-free prefix when a recorded checkpoint
+	// covers this experiment's injection point (no-op otherwise).
+	t.fwRestore(ex)
 	budget := ex.Campaign.Termination.TimeoutCycles
 	for {
 		fired, st := trigger.RunUntil(t.cpu, t.trig, remaining(budget, t.cpu.Cycle()))
@@ -293,6 +317,7 @@ func (t *Target) exchange(ex *core.Experiment) error {
 	}
 	ex.Result.Outputs[wl.OutputPort] = append(ex.Result.Outputs[wl.OutputPort], outs...)
 	if t.sim != nil {
+		t.fwLogExchange(ex, outs)
 		t.cpu.Ports().PushInput(wl.InputPort, t.sim.Exchange(outs)...)
 	}
 	t.iteration++
@@ -311,7 +336,12 @@ func (t *Target) WaitForTermination(ex *core.Experiment) error {
 			t.finishOutcome(ex, campaign.OutcomeTimeout, nil)
 			return nil
 		}
-		st := t.cpu.Run(minU64(runSlice, term.TimeoutCycles-t.cpu.Cycle()))
+		// At the loop top the CPU is at an instruction boundary in the
+		// Running state: the place to capture forwarding checkpoints.
+		// The slice budget is shaped so the run stops at the next
+		// planned cycle (a no-op outside a recording reference run).
+		t.fwMaybeRecord(ex)
+		st := t.cpu.Run(t.fwSliceBudget(ex, minU64(runSlice, term.TimeoutCycles-t.cpu.Cycle())))
 		switch st {
 		case thor.StatusHalted:
 			t.finishOutcome(ex, campaign.OutcomeCompleted, nil)
@@ -357,14 +387,24 @@ func (t *Target) WaitForTermination(ex *core.Experiment) error {
 	}
 }
 
-// reassert re-applies a persistent fault through the scan chain.
+// reassert re-applies a persistent fault through the scan chain, reusing
+// the target's scratch vector: this runs once per slice for the whole
+// faulty remainder of the run.
 func (t *Target) reassert(ex *core.Experiment) error {
-	v, err := t.ctrl.ReadInternal()
-	if err != nil {
+	v := t.scanVectorScratch()
+	if err := t.ctrl.ReadInternalInto(v); err != nil {
 		return err
 	}
 	ex.Fault.Apply(v, ex.RNG)
 	return t.ctrl.WriteInternal(v)
+}
+
+// scanVectorScratch returns the target's reusable internal-chain vector.
+func (t *Target) scanVectorScratch() *bitvec.Vector {
+	if t.scanScratch == nil || t.scanScratch.Len() != thor.ScanLen() {
+		t.scanScratch = bitvec.New(thor.ScanLen())
+	}
+	return t.scanScratch
 }
 
 // finishOutcome fills the experiment outcome.
@@ -426,7 +466,11 @@ func (t *Target) ReadMemory(ex *core.Experiment) error {
 // logging: the scan chain (host-side read so the run is not perturbed)
 // and current outputs.
 func (t *Target) captureState(ex *core.Experiment) (*campaign.StateVector, error) {
-	scan, err := t.cpu.ScanRead().MarshalBinary()
+	v := t.scanVectorScratch()
+	if err := t.cpu.ScanReadInto(v); err != nil {
+		return nil, err
+	}
+	scan, err := v.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}

@@ -80,7 +80,7 @@ func (t *Target) CPU() *thor.CPU { return t.cpu }
 // ImageSize returns the assembled size of a workload source, for sizing
 // the SWIFI fault space.
 func ImageSize(source string) (int, error) {
-	prog, err := asm.Assemble(source)
+	prog, err := asm.AssembleCached(source)
 	if err != nil {
 		return 0, err
 	}
@@ -129,7 +129,7 @@ func (t *Target) InitTestCard(ex *core.Experiment) error {
 
 // LoadWorkload assembles the workload into a host-side image.
 func (t *Target) LoadWorkload(ex *core.Experiment) error {
-	prog, err := asm.Assemble(ex.Campaign.Workload.Source)
+	prog, err := asm.AssembleCached(ex.Campaign.Workload.Source)
 	if err != nil {
 		return fmt.Errorf("swifi: assemble workload: %w", err)
 	}

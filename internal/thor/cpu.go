@@ -773,56 +773,9 @@ func (c *CPU) CacheStats() (iHits, iMisses, dHits, dMisses uint64) {
 	return iHits, iMisses, dHits, dMisses
 }
 
-// Snapshot captures the complete system state, including memory, for exact
-// restoration. Reference runs and the pre-injection analysis rely on this.
-type Snapshot struct {
-	Regs     [NumRegs]uint32
-	PC       uint32
-	Flags    Flags
-	Mem      []byte
-	ICache   [CacheLines]cacheLine
-	DCache   [CacheLines]cacheLine
-	Cycle    uint64
-	Instret  uint64
-	LastKick uint64
-	Status   Status
-}
+// PinForceActive reports whether a pin-level force is currently driven
+// onto the buses.
+func (c *CPU) PinForceActive() bool { return c.force.Active }
 
-// Snapshot returns a deep copy of the current state.
-func (c *CPU) Snapshot() *Snapshot {
-	s := &Snapshot{
-		Regs:     c.Regs,
-		PC:       c.PC,
-		Flags:    c.Flags,
-		Mem:      make([]byte, len(c.mem)),
-		ICache:   c.icache.lines,
-		DCache:   c.dcache.lines,
-		Cycle:    c.cycle,
-		Instret:  c.instret,
-		LastKick: c.lastKick,
-		Status:   c.status,
-	}
-	copy(s.Mem, c.mem)
-	return s
-}
-
-// Restore overwrites the CPU state with a snapshot taken from a CPU of the
-// same configuration.
-func (c *CPU) Restore(s *Snapshot) error {
-	if len(s.Mem) != len(c.mem) {
-		return fmt.Errorf("thor: snapshot memory size %d != CPU memory size %d",
-			len(s.Mem), len(c.mem))
-	}
-	c.Regs = s.Regs
-	c.PC = s.PC
-	c.Flags = s.Flags
-	copy(c.mem, s.Mem)
-	c.icache.lines = s.ICache
-	c.dcache.lines = s.DCache
-	c.cycle = s.Cycle
-	c.instret = s.Instret
-	c.lastKick = s.LastKick
-	c.status = s.Status
-	c.detection = nil
-	return nil
-}
+// ClearTrapHandlers removes every installed trap handler.
+func (c *CPU) ClearTrapHandlers() { c.trapHandlers = make(map[uint16]uint32) }

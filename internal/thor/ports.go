@@ -24,6 +24,39 @@ func (p *PortSet) Reset() {
 	p.out = make(map[uint16][]uint32)
 }
 
+// Clone returns a deep copy of the port set, for snapshots.
+func (p *PortSet) Clone() *PortSet {
+	c := NewPortSet()
+	c.CopyFrom(p)
+	return c
+}
+
+// CopyFrom replaces the port set's contents with a deep copy of src; src
+// is left untouched, so a shared snapshot can be copied onto any number
+// of boards.
+func (p *PortSet) CopyFrom(src *PortSet) {
+	p.in = make(map[uint16][]uint32, len(src.in))
+	for port, q := range src.in {
+		p.in[port] = append([]uint32(nil), q...)
+	}
+	p.out = make(map[uint16][]uint32, len(src.out))
+	for port, q := range src.out {
+		p.out[port] = append([]uint32(nil), q...)
+	}
+}
+
+// queuedValues counts all values held in input and output queues.
+func (p *PortSet) queuedValues() int {
+	n := 0
+	for _, q := range p.in {
+		n += len(q)
+	}
+	for _, q := range p.out {
+		n += len(q)
+	}
+	return n
+}
+
 // PushInput queues values on an input port (host side).
 func (p *PortSet) PushInput(port uint16, vals ...uint32) {
 	p.in[port] = append(p.in[port], vals...)

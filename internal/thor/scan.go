@@ -84,6 +84,20 @@ func ScanFieldByName(name string) (ScanField, error) {
 // SCIFI algorithm.
 func (c *CPU) ScanRead() *bitvec.Vector {
 	v := bitvec.New(ScanLen())
+	if err := c.ScanReadInto(v); err != nil {
+		panic(err) // length is correct by construction
+	}
+	return v
+}
+
+// ScanReadInto captures the internal state into v, which must have length
+// ScanLen. It is the allocation-free variant of ScanRead for hot loops
+// (persistent-fault reassertion, detail-mode tracing) that capture the
+// chain once per slice or instruction.
+func (c *CPU) ScanReadInto(v *bitvec.Vector) error {
+	if v.Len() != ScanLen() {
+		return fmt.Errorf("thor: scan vector length %d != chain length %d", v.Len(), ScanLen())
+	}
 	i := 0
 	put := func(width int, val uint64) {
 		f := scanLayout[i]
@@ -113,7 +127,7 @@ func (c *CPU) ScanRead() *bitvec.Vector {
 	}
 	put(counterWidth, c.cycle&(1<<counterWidth-1))
 	put(counterWidth, c.instret&(1<<counterWidth-1))
-	return v
+	return nil
 }
 
 // ScanWrite applies a bit vector (usually a modified copy of ScanRead's

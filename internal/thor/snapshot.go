@@ -1,0 +1,186 @@
+package thor
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// SnapshotPageBytes is the page granularity at which snapshot memory is
+// stored. Consecutive snapshots of the same run share the pages that did
+// not change between them (copy-on-write), so a campaign checkpoint set
+// costs roughly one full memory image plus the written working set.
+const SnapshotPageBytes = 1024
+
+// Snapshot captures the complete system state for exact restoration:
+// architectural state, memory, caches (including hit/miss statistics),
+// cycle/instret/watchdog counters, I/O port queues, trap handlers,
+// breakpoints, pin state and pending detections. Reference runs, the
+// pre-injection analysis and campaign checkpoint-forwarding rely on a
+// restore being indistinguishable from having executed to the snapshot
+// point. Pages in MemPages may be shared between snapshots and must be
+// treated as immutable.
+type Snapshot struct {
+	Regs  [NumRegs]uint32
+	PC    uint32
+	Flags Flags
+
+	// MemPages is physical memory split into SnapshotPageBytes pages
+	// (the last page may be shorter); MemLen is the total byte count.
+	MemPages [][]byte
+	MemLen   int
+
+	ICache [CacheLines]cacheLine
+	DCache [CacheLines]cacheLine
+	IHits, IMisses,
+	DHits, DMisses uint64
+
+	Cycle    uint64
+	Instret  uint64
+	LastKick uint64
+
+	Status    Status
+	Detection *Detection
+	Events    []Detection
+
+	TrapHandlers map[uint16]uint32
+	Breakpoints  map[uint32]bool
+	SkipBPOnce   bool
+
+	Pins  Pins
+	Force PinForce
+	Ports *PortSet
+}
+
+// Bytes returns the approximate heap footprint of the snapshot's own
+// (unshared-with-prev) data, as reported by SnapshotSharing.
+func snapshotFixedBytes(s *Snapshot) int {
+	n := len(s.Events) * 32
+	n += len(s.TrapHandlers) * 8
+	n += len(s.Breakpoints) * 8
+	if s.Ports != nil {
+		n += s.Ports.queuedValues() * 4
+	}
+	return n + 512 // struct, cache arrays, map headers
+}
+
+// Snapshot returns a deep copy of the current state. All memory pages are
+// freshly allocated; use SnapshotSharing to share unchanged pages with a
+// previous snapshot of the same run.
+func (c *CPU) Snapshot() *Snapshot {
+	s, _ := c.SnapshotSharing(nil)
+	return s
+}
+
+// SnapshotSharing captures the current state like Snapshot, but memory
+// pages whose contents equal the corresponding page of prev are shared
+// with prev instead of copied. It returns the snapshot and the number of
+// bytes that had to be freshly allocated (page data plus bookkeeping) —
+// the marginal cost of keeping this snapshot alongside prev. prev may be
+// nil, in which case every page is fresh.
+func (c *CPU) SnapshotSharing(prev *Snapshot) (*Snapshot, int) {
+	iH, iM := c.icache.stats()
+	dH, dM := c.dcache.stats()
+	s := &Snapshot{
+		Regs:         c.Regs,
+		PC:           c.PC,
+		Flags:        c.Flags,
+		MemLen:       len(c.mem),
+		ICache:       c.icache.lines,
+		DCache:       c.dcache.lines,
+		IHits:        iH,
+		IMisses:      iM,
+		DHits:        dH,
+		DMisses:      dM,
+		Cycle:        c.cycle,
+		Instret:      c.instret,
+		LastKick:     c.lastKick,
+		Status:       c.status,
+		Events:       append([]Detection(nil), c.events...),
+		TrapHandlers: make(map[uint16]uint32, len(c.trapHandlers)),
+		Breakpoints:  make(map[uint32]bool, len(c.breakpoints)),
+		SkipBPOnce:   c.skipBPOnce,
+		Pins:         c.pins,
+		Force:        c.force,
+		Ports:        c.ports.Clone(),
+	}
+	if c.detection != nil {
+		d := *c.detection
+		s.Detection = &d
+	}
+	for k, v := range c.trapHandlers {
+		s.TrapHandlers[k] = v
+	}
+	for k, v := range c.breakpoints {
+		s.Breakpoints[k] = v
+	}
+	nPages := (len(c.mem) + SnapshotPageBytes - 1) / SnapshotPageBytes
+	s.MemPages = make([][]byte, nPages)
+	fresh := 0
+	for i := 0; i < nPages; i++ {
+		lo := i * SnapshotPageBytes
+		hi := lo + SnapshotPageBytes
+		if hi > len(c.mem) {
+			hi = len(c.mem)
+		}
+		cur := c.mem[lo:hi]
+		if prev != nil && i < len(prev.MemPages) && bytes.Equal(prev.MemPages[i], cur) {
+			s.MemPages[i] = prev.MemPages[i]
+			continue
+		}
+		page := make([]byte, hi-lo)
+		copy(page, cur)
+		s.MemPages[i] = page
+		fresh += len(page)
+	}
+	return s, fresh + snapshotFixedBytes(s)
+}
+
+// Restore overwrites the CPU state with a snapshot taken from a CPU of
+// the same configuration. The snapshot itself is not aliased: maps, port
+// queues and memory pages are copied, so a snapshot can be restored onto
+// any number of boards (even concurrently) without interference.
+func (c *CPU) Restore(s *Snapshot) error {
+	if s.MemLen != len(c.mem) {
+		return fmt.Errorf("thor: snapshot memory size %d != CPU memory size %d",
+			s.MemLen, len(c.mem))
+	}
+	c.Regs = s.Regs
+	c.PC = s.PC
+	c.Flags = s.Flags
+	off := 0
+	for _, page := range s.MemPages {
+		copy(c.mem[off:], page)
+		off += len(page)
+	}
+	c.icache.lines = s.ICache
+	c.dcache.lines = s.DCache
+	c.icache.hits, c.icache.misses = s.IHits, s.IMisses
+	c.dcache.hits, c.dcache.misses = s.DHits, s.DMisses
+	c.cycle = s.Cycle
+	c.instret = s.Instret
+	c.lastKick = s.LastKick
+	c.status = s.Status
+	c.detection = nil
+	if s.Detection != nil {
+		d := *s.Detection
+		c.detection = &d
+	}
+	c.events = append(c.events[:0:0], s.Events...)
+	c.trapHandlers = make(map[uint16]uint32, len(s.TrapHandlers))
+	for k, v := range s.TrapHandlers {
+		c.trapHandlers[k] = v
+	}
+	c.breakpoints = make(map[uint32]bool, len(s.Breakpoints))
+	for k, v := range s.Breakpoints {
+		c.breakpoints[k] = v
+	}
+	c.skipBPOnce = s.SkipBPOnce
+	c.pins = s.Pins
+	c.force = s.Force
+	if s.Ports != nil {
+		c.ports.CopyFrom(s.Ports)
+	} else {
+		c.ports.Reset()
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package trigger
+
+import "testing"
+
+func TestCycleMonotonicKinds(t *testing.T) {
+	monotonic := map[string]bool{
+		"cycle":       true,
+		"instret":     true,
+		"rtc":         true,
+		"breakpoint":  false,
+		"data-access": false,
+		"branch":      false,
+		"call":        false,
+		"task-switch": false,
+	}
+	for kind, want := range monotonic {
+		if got := (Spec{Kind: kind}).CycleMonotonic(); got != want {
+			t.Errorf("CycleMonotonic(%q) = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+func TestForwardPoint(t *testing.T) {
+	tests := []struct {
+		name      string
+		spec      Spec
+		at        uint64
+		byInstret bool
+		ok        bool
+	}{
+		{"cycle", Spec{Kind: "cycle", Cycle: 1234}, 1234, false, true},
+		{"instret", Spec{Kind: "instret", Count: 500}, 500, true, true},
+		{"rtc-default-occurrence", Spec{Kind: "rtc", Period: 100}, 100, false, true},
+		{"rtc-nth-tick", Spec{Kind: "rtc", Period: 100, Occurrence: 7}, 700, false, true},
+		{"breakpoint", Spec{Kind: "breakpoint", Addr: 0x40}, 0, false, false},
+		{"branch", Spec{Kind: "branch", Occurrence: 3}, 0, false, false},
+	}
+	for _, tc := range tests {
+		at, byInstret, ok := tc.spec.ForwardPoint()
+		if at != tc.at || byInstret != tc.byInstret || ok != tc.ok {
+			t.Errorf("%s: ForwardPoint() = (%d, %v, %v), want (%d, %v, %v)",
+				tc.name, at, byInstret, ok, tc.at, tc.byInstret, tc.ok)
+		}
+	}
+}
+
+// TestForwardPointMatchesBuiltTrigger pins the invariant forwarding rests
+// on: for every cycle-monotonic spec, the built trigger fires exactly when
+// the watched counter reaches ForwardPoint's threshold.
+func TestForwardPointMatchesBuiltTrigger(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: "cycle", Cycle: 64},
+		{Kind: "rtc", Period: 32, Occurrence: 2},
+	} {
+		at, byInstret, ok := spec.ForwardPoint()
+		if !ok || byInstret {
+			t.Fatalf("%+v: unexpected forward point (%d, %v, %v)", spec, at, byInstret, ok)
+		}
+		tr, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, isCycle := tr.(*cycleTrigger)
+		if !isCycle || ct.at != at {
+			t.Errorf("%+v: built trigger %#v does not fire at forward point %d", spec, tr, at)
+		}
+	}
+}

@@ -34,6 +34,41 @@ type Spec struct {
 	Period uint64 `json:"period,omitempty"`
 }
 
+// CycleMonotonic reports whether the trigger's firing decision is a pure
+// monotonic function of the cycle or instruction counter: once the
+// counter passes the threshold the trigger is fired, and it keeps no
+// occurrence state of its own. Only such triggers are safe to fast-forward
+// with checkpoint restore — an occurrence-counting trigger (breakpoint,
+// data-access, branch, call, task-switch) depends on the whole execution
+// prefix, which a restored run would skip.
+func (s Spec) CycleMonotonic() bool {
+	switch s.Kind {
+	case "cycle", "instret", "rtc":
+		return true
+	}
+	return false
+}
+
+// ForwardPoint returns the counter threshold at which a cycle-monotonic
+// trigger fires, and which counter it watches (byInstret selects the
+// instruction counter). ok is false for triggers that are not
+// cycle-monotonic; those cannot be forwarded.
+func (s Spec) ForwardPoint() (at uint64, byInstret, ok bool) {
+	switch s.Kind {
+	case "cycle":
+		return s.Cycle, false, true
+	case "rtc":
+		occ := s.Occurrence
+		if occ <= 0 {
+			occ = 1
+		}
+		return s.Period * uint64(occ), false, true
+	case "instret":
+		return s.Count, true, true
+	}
+	return 0, false, false
+}
+
 // Trigger decides when the injection point has been reached. Fired is
 // evaluated before each instruction executes; triggers may keep occurrence
 // state and must be Reset between experiments.
