@@ -6,12 +6,15 @@ FUZZTIME ?= 15s
 # tier1 is the gate every PR must keep green: full build, vet, and the
 # test suite under the race detector. The snapshot/forwarding tests in
 # core and thor run explicitly with -count 1 so the checkpoint machinery
-# is always exercised fresh under -race, never served from the cache.
+# is always exercised fresh under -race, never served from the cache;
+# the chaos/retry/quarantine tests likewise, because the fault-tolerance
+# layer is all goroutine coordination (watchdogs, pull queue, breaker).
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./internal/core/ ./internal/thor/
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/ ./internal/thor/ ./internal/scifi/ . -run 'Snapshot|Forward' -count 1
+	$(GO) test -race ./internal/core/ ./internal/chaos/ . -run 'Chaos|Retry|Quarantine|Watchdog|Panic|InvalidRun|DrainsAndFlushes' -count 1
 	$(GO) test -race ./...
 
 # tier2 is the crash-safety suite: the WAL crash-injection and resume
@@ -38,13 +41,14 @@ race:
 	$(GO) test -race ./...
 
 # bench regenerates the microbenchmark numbers, runs the campaign
-# benchmarks three times for stable medians, and emits the checkpoint
-# fast-forwarding comparison (3 reps, forwarding on vs off) as a
-# comparable JSON blob in BENCH_PR3.json.
+# benchmarks three times for stable medians, and emits the comparison
+# blobs: checkpoint fast-forwarding (on vs off) into BENCH_PR3.json and
+# the fault-tolerance layer's healthy-path overhead into BENCH_PR4.json.
 bench:
 	$(GO) test . -run xxx -bench . -benchtime 1x
 	$(GO) test . -run xxx -bench BenchmarkCampaignPID -benchtime 1x -count 3
 	$(GO) run ./cmd/goofi-bench -reps 3 -o BENCH_PR3.json
+	$(GO) run ./cmd/goofi-bench -mode robustness -reps 5 -o BENCH_PR4.json
 
 # fuzz runs each native Go fuzzer for a bounded time (override with
 # FUZZTIME=1m etc.). New corpus entries land in the build cache;

@@ -1,10 +1,17 @@
-// Command goofi-bench measures checkpoint fast-forwarding on the E1 PID
+// Command goofi-bench measures campaign-scheduler features on the E1 PID
 // campaign (BenchmarkCampaignPID's workload): the same campaign runs with
-// forwarding on and off for a number of repetitions, and the wall-clock
+// a feature on and off for a number of repetitions, and the wall-clock
 // times and emulated-cycle counts are emitted as one comparable JSON
-// blob. `make bench` writes the blob to BENCH_PR3.json:
+// blob. `make bench` writes both blobs:
 //
 //	go run ./cmd/goofi-bench -o BENCH_PR3.json
+//	go run ./cmd/goofi-bench -mode robustness -o BENCH_PR4.json
+//
+// The forwarding mode compares checkpoint fast-forwarding on vs off; the
+// robustness mode compares a healthy campaign with the fault-tolerance
+// layer (watchdogs, retry accounting, circuit breaker) armed vs the bare
+// scheduler — its overhead_ratio is the retry path's cost when nothing
+// ever fails, and must stay within a few percent of 1.
 package main
 
 import (
@@ -53,9 +60,19 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per configuration")
 	boards := flag.Int("boards", 1, "simulated boards")
 	seed := flag.Int64("seed", 1, "campaign seed")
+	mode := flag.String("mode", "forwarding", "comparison: forwarding or robustness")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
-	if err := run(*n, *reps, *boards, *seed, *out); err != nil {
+	var err error
+	switch *mode {
+	case "forwarding":
+		err = run(*n, *reps, *boards, *seed, *out)
+	case "robustness":
+		err = runRobustness(*n, *reps, *boards, *seed, *out)
+	default:
+		err = fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "goofi-bench:", err)
 		os.Exit(1)
 	}
@@ -86,7 +103,7 @@ func pidCampaign(name string, n int, seed int64) *campaign.Campaign {
 
 // runOnce executes the campaign on a fresh in-memory store, including the
 // analysis pass, exactly as the benchmark does.
-func runOnce(camp *campaign.Campaign, boards int, forwarding bool) (sample, error) {
+func runOnce(camp *campaign.Campaign, boards int, forwarding bool, extra ...core.RunnerOption) (sample, error) {
 	st, err := campaign.NewStore(sqldb.Open())
 	if err != nil {
 		return sample{}, err
@@ -106,6 +123,7 @@ func runOnce(camp *campaign.Campaign, boards int, forwarding bool) (sample, erro
 	if !forwarding {
 		opts = append(opts, core.WithForwarding(core.ForwardConfig{Disabled: true}))
 	}
+	opts = append(opts, extra...)
 	r, err := core.NewRunner(scifi.New(thor.DefaultConfig()), core.SCIFI, camp, tsd, opts...)
 	if err != nil {
 		return sample{}, err
@@ -185,5 +203,77 @@ func run(n, reps, boards int, seed int64, out string) error {
 	}
 	fmt.Printf("forwarding on: %d cycles emulated; off: %d; reduction %.2fx, wall %.2fx (%s)\n",
 		on.CyclesEmulated, off.CyclesEmulated, res.CycleReduction, res.WallClockSpeedup, out)
+	return os.WriteFile(out, blob, 0o644)
+}
+
+// robustnessResult compares a healthy campaign with the fault-tolerance
+// layer armed against the bare scheduler. overhead_ratio is median
+// robustness-on wall time over median robustness-off wall time; retries
+// and invalid runs must both be zero (the harness never fails here — any
+// non-zero value means the bench itself is broken).
+type robustnessResult struct {
+	Benchmark     string   `json:"benchmark"`
+	Date          string   `json:"date"`
+	Experiments   int      `json:"experiments"`
+	Boards        int      `json:"boards"`
+	Reps          int      `json:"reps"`
+	RobustnessOn  []sample `json:"robustness_on"`
+	RobustnessOff []sample `json:"robustness_off"`
+	OverheadRatio float64  `json:"overhead_ratio"`
+}
+
+// benchRetryPolicy arms every gate of the fault-tolerance layer the way
+// a cautious user would: retries, a board circuit breaker, and a
+// watchdog deadline generous enough to never fire on a healthy run.
+func benchRetryPolicy() core.RunnerOption {
+	return core.WithRetryPolicy(core.RetryPolicy{
+		MaxRetries:            2,
+		BoardFailureThreshold: 3,
+		WatchdogTimeout:       30 * time.Second,
+	})
+}
+
+func runRobustness(n, reps, boards int, seed int64, out string) error {
+	res := robustnessResult{
+		Benchmark:   "BenchmarkCampaignPID/robustness",
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Experiments: n,
+		Boards:      boards,
+		Reps:        reps,
+	}
+	for _, on := range []bool{true, false} { // untimed warmup
+		opts := []core.RunnerOption{}
+		if on {
+			opts = append(opts, benchRetryPolicy())
+		}
+		if _, err := runOnce(pidCampaign("bench-robust", n, seed), boards, true, opts...); err != nil {
+			return err
+		}
+	}
+	for rep := 0; rep < reps; rep++ {
+		s, err := runOnce(pidCampaign("bench-robust", n, seed), boards, true, benchRetryPolicy())
+		if err != nil {
+			return err
+		}
+		res.RobustnessOn = append(res.RobustnessOn, s)
+		s, err = runOnce(pidCampaign("bench-robust", n, seed), boards, true)
+		if err != nil {
+			return err
+		}
+		res.RobustnessOff = append(res.RobustnessOff, s)
+	}
+	on, off := medianWall(res.RobustnessOn), medianWall(res.RobustnessOff)
+	res.OverheadRatio = on.WallMS / off.WallMS
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	fmt.Printf("robustness on: %.1fms; off: %.1fms; overhead %.3fx (%s)\n",
+		on.WallMS, off.WallMS, res.OverheadRatio, out)
 	return os.WriteFile(out, blob, 0o644)
 }

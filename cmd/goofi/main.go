@@ -27,9 +27,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"goofi/internal/analysis"
 	"goofi/internal/campaign"
+	"goofi/internal/chaos"
 	"goofi/internal/core"
 	"goofi/internal/faultmodel"
 	"goofi/internal/pinlevel"
@@ -288,6 +291,74 @@ func targetFactory(technique string) func() core.TargetSystem {
 	}
 }
 
+// robustFlags is the fault-tolerance and chaos flag group shared by run
+// and resume. Retry flags configure the scheduler's recovery layer;
+// chaos flags wrap every board in a seeded flaky-harness fault model,
+// the self-test for that layer.
+type robustFlags struct {
+	maxRetries     *int
+	boardThreshold *int
+	watchdog       *time.Duration
+	chaosSeed      *int64
+	chaosScanRead  *float64
+	chaosScanWrite *float64
+	chaosHang      *float64
+	chaosPersist   *float64
+	chaosMaxFaults *int
+	chaosSilent    *bool
+}
+
+func addRobustFlags(fs *flag.FlagSet) *robustFlags {
+	return &robustFlags{
+		maxRetries: fs.Int("max-retries", 0,
+			"retries per experiment after a harness failure (0 = fail the campaign on the first error)"),
+		boardThreshold: fs.Int("board-failure-threshold", 0,
+			"consecutive failures before a board is quarantined (0 = never)"),
+		watchdog: fs.Duration("watchdog", 0,
+			"per-experiment wall-clock deadline; a board past it is wedged and power-cycled (0 = none)"),
+		chaosSeed:      fs.Int64("chaos-seed", 1, "seed for the chaos fault model"),
+		chaosScanRead:  fs.Float64("chaos-scan-read", 0, "chaos: scan-read corruption probability"),
+		chaosScanWrite: fs.Float64("chaos-scan-write", 0, "chaos: scan-write failure probability"),
+		chaosHang:      fs.Float64("chaos-hang", 0, "chaos: board hang probability (pair with -watchdog)"),
+		chaosPersist:   fs.Float64("chaos-persistent", 0, "chaos: probability a fault presents as persistent"),
+		chaosMaxFaults: fs.Int("chaos-max-faults", 0, "chaos: total injected-fault budget (0 = unlimited)"),
+		chaosSilent:    fs.Bool("chaos-silent", false, "chaos: corrupt scan reads without reporting an error"),
+	}
+}
+
+// options returns the scheduler options the flag values ask for.
+func (rf *robustFlags) options() []core.RunnerOption {
+	if *rf.maxRetries == 0 && *rf.boardThreshold == 0 && *rf.watchdog == 0 {
+		return nil
+	}
+	return []core.RunnerOption{core.WithRetryPolicy(core.RetryPolicy{
+		MaxRetries:            *rf.maxRetries,
+		BoardFailureThreshold: *rf.boardThreshold,
+		WatchdogTimeout:       *rf.watchdog,
+	})}
+}
+
+// wrapFactory layers the chaos fault model over a target factory when
+// any chaos probability is set. Each board draws from its own stream,
+// derived from -chaos-seed by creation order.
+func (rf *robustFlags) wrapFactory(factory func() core.TargetSystem) func() core.TargetSystem {
+	if *rf.chaosScanRead == 0 && *rf.chaosScanWrite == 0 && *rf.chaosHang == 0 {
+		return factory
+	}
+	var n int64
+	return func() core.TargetSystem {
+		return chaos.Wrap(factory(), chaos.Config{
+			Seed:               *rf.chaosSeed + atomic.AddInt64(&n, 1),
+			ScanReadCorruption: *rf.chaosScanRead,
+			ScanWriteError:     *rf.chaosScanWrite,
+			HangProb:           *rf.chaosHang,
+			PersistentProb:     *rf.chaosPersist,
+			MaxFaults:          *rf.chaosMaxFaults,
+			Silent:             *rf.chaosSilent,
+		})
+	}
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
@@ -301,6 +372,7 @@ func cmdRun(args []string) error {
 	noFwd := fs.Bool("no-checkpoints", false,
 		"disable checkpoint fast-forwarding (every experiment replays the full fault-free prefix)")
 	quiet := fs.Bool("quiet", false, "suppress the progress line")
+	rf := addRobustFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -324,12 +396,13 @@ func cmdRun(args []string) error {
 	if !ok {
 		return fmt.Errorf("run: unknown technique %q", *technique)
 	}
-	factory := targetFactory(*technique)
+	factory := rf.wrapFactory(targetFactory(*technique))
 	// Batch LoggedSystemState writes: the scheduler flushes the sink at
 	// checkpoints and on termination, and Close drains it before save.
 	sink := campaign.NewBatchingSink(st, 0)
 	defer sink.Close()
 	opts := []core.RunnerOption{core.WithSink(sink), core.WithBoards(*boards, factory)}
+	opts = append(opts, rf.options()...)
 	if *ckpt > 0 {
 		opts = append(opts, core.WithCheckpoints(*ckpt))
 	}
@@ -414,6 +487,10 @@ func finishCampaign(st *campaign.Store, db *sqldb.DB, sink *campaign.BatchingSin
 		fmt.Printf("  fast-forwarded %d experiments: %d cycles emulated, %d saved by checkpoint restore\n",
 			sum.Forwarded, sum.CyclesEmulated, sum.CyclesSaved)
 	}
+	if sum.Retried > 0 || sum.InvalidRuns > 0 || sum.QuarantinedBoards > 0 {
+		fmt.Printf("  harness recovery: %d retries, %d invalid runs, %d boards quarantined\n",
+			sum.Retried, sum.InvalidRuns, sum.QuarantinedBoards)
+	}
 	return nil
 }
 
@@ -429,6 +506,9 @@ func cmdResume(args []string) error {
 	ckpt := fs.Int("checkpoint", core.DefaultCheckpointInterval,
 		"experiments between durable checkpoints (0 disables crash recovery)")
 	quiet := fs.Bool("quiet", false, "suppress the progress line")
+	retryInvalid := fs.Bool("retry-invalid", false,
+		"delete invalid-run records and re-attempt those experiments")
+	rf := addRobustFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -458,11 +538,35 @@ func cmdResume(args []string) error {
 	if !cp.Reference && len(cp.Completed) == 0 {
 		return fmt.Errorf("resume: campaign %q has no checkpoint or logged experiments ('goofi run' starts it)", camp.Name)
 	}
+	if *retryInvalid {
+		// Invalid runs are final by default — a resumed campaign skips
+		// them like any completed slot. Opting in deletes their records
+		// and drops them from the cursor so the scheduler re-attempts
+		// them under this run's retry policy.
+		kept := cp.Completed[:0]
+		dropped := 0
+		for _, seq := range cp.Completed {
+			rec, err := st.GetExperiment(campaign.ExperimentName(camp.Name, seq))
+			if err != nil {
+				return err
+			}
+			if rec.Data.Outcome.Status == campaign.OutcomeInvalidRun {
+				if err := st.DeleteExperiment(rec.Name); err != nil {
+					return err
+				}
+				dropped++
+				continue
+			}
+			kept = append(kept, seq)
+		}
+		cp.Completed = kept
+		fmt.Printf("re-attempting %d invalid run(s)\n", dropped)
+	}
 	alg, ok := core.Algorithms()[*technique]
 	if !ok {
 		return fmt.Errorf("resume: unknown technique %q", *technique)
 	}
-	factory := targetFactory(*technique)
+	factory := rf.wrapFactory(targetFactory(*technique))
 	sink := campaign.NewBatchingSink(st, 0)
 	defer sink.Close()
 	opts := []core.RunnerOption{
@@ -470,6 +574,7 @@ func cmdResume(args []string) error {
 		core.WithBoards(*boards, factory),
 		core.WithResume(cp),
 	}
+	opts = append(opts, rf.options()...)
 	if *ckpt > 0 {
 		opts = append(opts, core.WithCheckpoints(*ckpt))
 	}

@@ -322,3 +322,110 @@ func TestSplitList(t *testing.T) {
 		t.Error("splitList(\"\") != nil")
 	}
 }
+
+// TestRunWithChaosAndRetries: the chaos flags make the harness flaky and
+// the retry flags absorb it — the campaign must complete and analyze
+// with no invalid runs.
+func TestRunWithChaosAndRetries(t *testing.T) {
+	db := dbPath(t)
+	steps := [][]string{
+		{"configure", "-db", db},
+		{"setup", "-db", db, "-campaign", "flaky", "-workload", "sort16",
+			"-window", "10:1600", "-experiments", "6", "-timeout", "100000"},
+		{"run", "-db", db, "-campaign", "flaky", "-quiet",
+			"-chaos-scan-read", "0.4", "-chaos-max-faults", "4", "-chaos-seed", "11",
+			"-max-retries", "6"},
+		{"analyze", "-db", db, "-campaign", "flaky"},
+	}
+	for _, step := range steps {
+		if err := runCmd(t, step...); err != nil {
+			t.Fatalf("goofi %s: %v", strings.Join(step, " "), err)
+		}
+	}
+	st, sdb, err := openStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+	recs, err := st.Experiments("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 { // reference + 6
+		t.Fatalf("store holds %d records, want 7", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Data.Outcome.Status == campaign.OutcomeInvalidRun {
+			t.Errorf("%s is invalid despite retries", rec.Name)
+		}
+	}
+}
+
+// TestResumeRetryInvalid: a campaign run against an unrecoverable chaos
+// harness records every experiment as an invalid run; goofi resume
+// -retry-invalid against a healthy harness re-attempts exactly those and
+// completes them.
+func TestResumeRetryInvalid(t *testing.T) {
+	db := dbPath(t)
+	steps := [][]string{
+		{"configure", "-db", db},
+		{"setup", "-db", db, "-campaign", "sick", "-workload", "sort16",
+			"-window", "10:1600", "-experiments", "4", "-timeout", "100000"},
+		// Every DR write exchange fails. The reference run never writes
+		// the scan chain, so it completes; every injected experiment
+		// burns its one retry and is recorded invalid.
+		{"run", "-db", db, "-campaign", "sick", "-quiet",
+			"-chaos-scan-write", "1", "-max-retries", "1"},
+	}
+	for _, step := range steps {
+		if err := runCmd(t, step...); err != nil {
+			t.Fatalf("goofi %s: %v", strings.Join(step, " "), err)
+		}
+	}
+	st, sdb, err := openStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invalid := 0
+	recs, err := st.Experiments("sick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Data.Outcome.Status == campaign.OutcomeInvalidRun {
+			invalid++
+		}
+	}
+	sdb.Close()
+	if invalid != 4 {
+		t.Fatalf("%d invalid runs recorded, want 4", invalid)
+	}
+
+	// A plain resume has nothing to do: invalid slots are final.
+	if err := runCmd(t, "resume", "-db", db, "-campaign", "sick", "-quiet"); err != nil {
+		t.Fatalf("plain resume: %v", err)
+	}
+
+	// Opting in re-attempts them against the now-healthy harness.
+	if err := runCmd(t, "resume", "-db", db, "-campaign", "sick", "-quiet",
+		"-retry-invalid", "-max-retries", "2"); err != nil {
+		t.Fatalf("resume -retry-invalid: %v", err)
+	}
+	st, sdb, err = openStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+	recs, err = st.Experiments("sick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 { // reference + 4
+		t.Fatalf("store holds %d records after retry, want 5", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Data.Outcome.Status == campaign.OutcomeInvalidRun {
+			t.Errorf("%s still invalid after -retry-invalid", rec.Name)
+		}
+	}
+}

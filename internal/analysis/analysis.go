@@ -48,11 +48,17 @@ const (
 	// ClassNotInjected marks experiments whose injection point was
 	// never reached (the workload ended first).
 	ClassNotInjected Class = "not-injected"
+	// ClassInvalidRun marks experiments the test harness could not
+	// complete even after retries (board wedge, scan corruption). They
+	// carry no usable system state and are excluded from every
+	// effectiveness ratio — the paper's discarded experiments.
+	ClassInvalidRun Class = "invalid-run"
 )
 
 // AllClasses lists the classes in report order.
 func AllClasses() []Class {
-	return []Class{ClassDetected, ClassEscaped, ClassLatent, ClassOverwritten, ClassNotInjected}
+	return []Class{ClassDetected, ClassEscaped, ClassLatent, ClassOverwritten,
+		ClassNotInjected, ClassInvalidRun}
 }
 
 // Effective reports whether the class counts as an effective error.
@@ -134,10 +140,10 @@ type Report struct {
 
 // Fraction returns a class's share of the relevant population: injected
 // experiments for the four outcome classes, all experiments for the
-// not-injected class.
+// not-injected and invalid-run classes.
 func (r *Report) Fraction(c Class) float64 {
 	base := r.Injected
-	if c == ClassNotInjected {
+	if c == ClassNotInjected || c == ClassInvalidRun {
 		base = r.Total
 	}
 	if base == 0 {
@@ -202,6 +208,14 @@ func (a *Analyzer) classify(rec, ref *campaign.ExperimentRecord) (Details, error
 		Experiment: rec.Name,
 		Cycles:     rec.Data.Outcome.Cycles,
 		Recovered:  rec.Data.Outcome.Recovered,
+	}
+	// Invalid runs are checked before the injected flag: a harness
+	// failure aborts the experiment before injection, so Injected is
+	// false, but the run must not be counted as a (valid) not-injected
+	// experiment either.
+	if rec.Data.Outcome.Status == campaign.OutcomeInvalidRun {
+		d.Class = ClassInvalidRun
+		return d, nil
 	}
 	if !rec.Data.Injected {
 		d.Class = ClassNotInjected
@@ -419,6 +433,9 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&sb, "    overwritten   %5d\n", r.Counts[ClassOverwritten])
 	if n := r.Counts[ClassNotInjected]; n > 0 {
 		fmt.Fprintf(&sb, "  not injected    %5d\n", n)
+	}
+	if n := r.Counts[ClassInvalidRun]; n > 0 {
+		fmt.Fprintf(&sb, "  invalid runs    %5d  (harness failures, excluded from all ratios)\n", n)
 	}
 	fmt.Fprintf(&sb, "  detection coverage: %s\n", r.Coverage)
 	fmt.Fprintf(&sb, "  effective rate:     %s\n", r.EffectiveRate)

@@ -96,8 +96,66 @@ func TestClassesAndEffectiveness(t *testing.T) {
 	if ClassLatent.Effective() || ClassOverwritten.Effective() {
 		t.Error("latent/overwritten must be non-effective")
 	}
-	if len(AllClasses()) != 5 {
+	if ClassInvalidRun.Effective() {
+		t.Error("invalid-run must be non-effective")
+	}
+	if len(AllClasses()) != 6 {
 		t.Error("class list incomplete")
+	}
+}
+
+// TestInvalidRunExcludedFromRatios: an invalid-run record counts in the
+// class tally (against Total) but never in the injected population the
+// effectiveness ratios are computed over.
+func TestInvalidRunExcludedFromRatios(t *testing.T) {
+	// Identical campaign twice: one analyzed untouched as the baseline,
+	// one with an experiment record replaced by an invalid run.
+	base, err := AnalyzeAndStore(runSortCampaign(t, "inv", 20, 7), "inv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runSortCampaign(t, "inv", 20, 7)
+
+	// Replace one experiment's record with an invalid run, the way the
+	// scheduler logs one after exhausting retries.
+	name := campaign.ExperimentName("inv", 4)
+	rec, err := st.GetExperiment(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeleteExperiment(name); err != nil {
+		t.Fatal(err)
+	}
+	rec.Data.Injected = false
+	rec.Data.InjectionCycle = 0
+	rec.Data.Outcome = campaign.Outcome{
+		Status:       campaign.OutcomeInvalidRun,
+		Attempts:     3,
+		HarnessError: "chaos: readScanChain: scan capture corrupted",
+	}
+	rec.State = campaign.StateVector{}
+	if err := st.LogExperiment(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := AnalyzeAndStore(st, "inv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counts[ClassInvalidRun] != 1 {
+		t.Errorf("invalid-run count = %d, want 1", rep.Counts[ClassInvalidRun])
+	}
+	if rep.Total != base.Total {
+		t.Errorf("total = %d, want %d (invalid slot still accounted)", rep.Total, base.Total)
+	}
+	if rep.Injected != base.Injected-1 {
+		t.Errorf("injected = %d, want %d (invalid run excluded)", rep.Injected, base.Injected-1)
+	}
+	if f := rep.Fraction(ClassInvalidRun); f != 1.0/float64(rep.Total) {
+		t.Errorf("invalid-run fraction = %v, want 1/%d of total", f, rep.Total)
+	}
+	if !strings.Contains(rep.Render(), "invalid runs") {
+		t.Error("report render does not mention invalid runs")
 	}
 }
 

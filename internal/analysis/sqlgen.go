@@ -107,6 +107,12 @@ func GeneratedQueries() []NamedQuery {
 				ORDER BY latency DESC LIMIT 10`,
 		},
 		{
+			Name: "invalid-runs",
+			SQL: `SELECT experimentName FROM AnalysisResults
+				WHERE campaignName = ? AND class = 'invalid-run'
+				ORDER BY experimentName`,
+		},
+		{
 			Name: "recovery-activity",
 			SQL: `SELECT SUM(recovered) AS totalRecoveries, COUNT(*) AS experiments
 				FROM AnalysisResults WHERE campaignName = ?`,

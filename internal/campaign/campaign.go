@@ -226,6 +226,14 @@ const (
 	OutcomeDetected OutcomeStatus = "detected"
 	// OutcomeTimeout means the time-out termination condition fired.
 	OutcomeTimeout OutcomeStatus = "timeout"
+	// OutcomeInvalidRun means the experiment could not be completed
+	// because the test harness itself failed (board wedge, scan
+	// corruption, host fault) even after the configured retries. The
+	// record preserves the planned injection so the experiment can be
+	// re-attempted, but carries no usable system state; analysis excludes
+	// invalid runs from all effectiveness ratios (the paper's discarded
+	// experiments).
+	OutcomeInvalidRun OutcomeStatus = "invalid-run"
 )
 
 // Outcome is the recorded end state of one experiment.
@@ -241,6 +249,12 @@ type Outcome struct {
 	Iterations int `json:"iterations,omitempty"`
 	// Recovered counts assertion failures that were recovered from.
 	Recovered int `json:"recovered,omitempty"`
+	// Attempts is how many times the experiment was executed before this
+	// outcome was recorded (0 means one attempt and is omitted; invalid
+	// runs record the full attempt count).
+	Attempts int `json:"attempts,omitempty"`
+	// HarnessError describes the final harness failure of an invalid run.
+	HarnessError string `json:"harnessError,omitempty"`
 }
 
 // ExperimentData is the experimentData attribute of a LoggedSystemState

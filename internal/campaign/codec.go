@@ -111,6 +111,14 @@ func appendOutcome(buf []byte, o *Outcome) []byte {
 		buf = append(buf, `,"recovered":`...)
 		buf = strconv.AppendInt(buf, int64(o.Recovered), 10)
 	}
+	if o.Attempts != 0 {
+		buf = append(buf, `,"attempts":`...)
+		buf = strconv.AppendInt(buf, int64(o.Attempts), 10)
+	}
+	if o.HarnessError != "" {
+		buf = append(buf, `,"harnessError":`...)
+		buf = appendJSONString(buf, o.HarnessError)
+	}
 	return append(buf, '}')
 }
 

@@ -31,9 +31,11 @@ func randExperimentData(rng *rand.Rand) *ExperimentData {
 		Outcome: Outcome{
 			Status:     OutcomeStatus([]string{"detected", "escaped", "latent", ""}[rng.Intn(4)]),
 			Mechanism:  []string{"", "watchdog", `odd "name"` + "\n\ttab"}[rng.Intn(3)],
-			Cycles:     uint64(rng.Intn(1 << 30)),
-			Iterations: rng.Intn(4),
-			Recovered:  rng.Intn(3),
+			Cycles:       uint64(rng.Intn(1 << 30)),
+			Iterations:   rng.Intn(4),
+			Recovered:    rng.Intn(3),
+			Attempts:     rng.Intn(4),
+			HarnessError: []string{"", "scan corrupted", "wedged after\n\"breakpoint\""}[rng.Intn(3)],
 		},
 	}
 	if rng.Intn(4) > 0 {

@@ -341,6 +341,19 @@ func (s *Store) DeleteExperiments(campaignName string) error {
 	return err
 }
 
+// DeleteExperiment removes one experiment's logged state (and any
+// detail-mode trace rows parented to it) so the experiment can be
+// re-attempted — `goofi resume -retry-invalid` uses this to clear
+// invalid-run records before resuming.
+func (s *Store) DeleteExperiment(name string) error {
+	if _, err := s.db.Exec(`DELETE FROM LoggedSystemState WHERE parentExperiment = ?`,
+		sqldb.Text(name)); err != nil {
+		return err
+	}
+	_, err := s.db.Exec(`DELETE FROM LoggedSystemState WHERE experimentName = ?`, sqldb.Text(name))
+	return err
+}
+
 func decodeExperimentRow(row []sqldb.Value) (*ExperimentRecord, error) {
 	rec := &ExperimentRecord{
 		Name:     row[0].S,

@@ -1,0 +1,194 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"goofi/internal/bitvec"
+	"goofi/internal/core"
+)
+
+// innerTarget is a minimal healthy target: ReadScanChain produces a
+// fixed alternating-bit capture, everything else succeeds.
+type innerTarget struct {
+	core.Framework
+	reads int
+}
+
+func (it *innerTarget) InitTestCard(*core.Experiment) error { return nil }
+func (it *innerTarget) LoadWorkload(*core.Experiment) error { return nil }
+func (it *innerTarget) WriteMemory(*core.Experiment) error  { return nil }
+func (it *innerTarget) RunWorkload(*core.Experiment) error  { return nil }
+
+func (it *innerTarget) WaitForBreakpoint(*core.Experiment) error { return nil }
+
+func (it *innerTarget) ReadScanChain(ex *core.Experiment) error {
+	it.reads++
+	ex.ScanVector = bitvec.New(64)
+	for i := 0; i < 64; i += 2 {
+		ex.ScanVector.Set(i, true)
+	}
+	return nil
+}
+
+func (it *innerTarget) WriteScanChain(*core.Experiment) error     { return nil }
+func (it *innerTarget) WaitForTermination(*core.Experiment) error { return nil }
+func (it *innerTarget) ReadMemory(*core.Experiment) error         { return nil }
+
+func cleanCapture() *bitvec.Vector {
+	v := bitvec.New(64)
+	for i := 0; i < 64; i += 2 {
+		v.Set(i, true)
+	}
+	return v
+}
+
+// readTrace drives n ReadScanChain calls and records, per call, whether
+// it errored and the resulting capture bits.
+func readTrace(t *Target, n int) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		ex := &core.Experiment{Seq: i}
+		err := t.ReadScanChain(ex)
+		s := ""
+		if err != nil {
+			s = "E:" + err.Error() + " "
+		}
+		if ex.ScanVector != nil {
+			s += ex.ScanVector.String()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestDeterministicFaultSequence(t *testing.T) {
+	cfg := Config{Seed: 42, ScanReadCorruption: 0.3}
+	a := readTrace(Wrap(&innerTarget{}, cfg), 50)
+	b := readTrace(Wrap(&innerTarget{}, cfg), 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged for equal seeds:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 43
+	c := readTrace(Wrap(&innerTarget{}, cfg), 50)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical 50-call fault trace")
+	}
+}
+
+func TestMaxFaultsBudget(t *testing.T) {
+	ct := Wrap(&innerTarget{}, Config{Seed: 1, ScanReadCorruption: 1, MaxFaults: 3})
+	errs := 0
+	clean := cleanCapture()
+	for i := 0; i < 10; i++ {
+		ex := &core.Experiment{Seq: i}
+		if err := ct.ReadScanChain(ex); err != nil {
+			errs++
+			if ex.ScanVector.Equal(clean) {
+				t.Errorf("call %d reported corruption but capture is clean", i)
+			}
+		} else if !ex.ScanVector.Equal(clean) {
+			t.Errorf("call %d corrupted the capture without spending a fault", i)
+		}
+	}
+	if errs != 3 {
+		t.Errorf("got %d faults over 10 reads, want exactly MaxFaults=3", errs)
+	}
+	if ct.Faults() != 3 {
+		t.Errorf("Faults() = %d, want 3", ct.Faults())
+	}
+}
+
+func TestSilentCorruption(t *testing.T) {
+	ct := Wrap(&innerTarget{}, Config{Seed: 1, ScanReadCorruption: 1, MaxFaults: 1, Silent: true})
+	ex := &core.Experiment{}
+	if err := ct.ReadScanChain(ex); err != nil {
+		t.Fatalf("silent corruption still reported an error: %v", err)
+	}
+	if ex.ScanVector.Equal(cleanCapture()) {
+		t.Error("silent mode did not corrupt the capture")
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	persistent := Wrap(&innerTarget{}, Config{Seed: 1, ScanReadCorruption: 1, PersistentProb: 1})
+	err := persistent.ReadScanChain(&core.Experiment{})
+	if err == nil {
+		t.Fatal("no error with corruption probability 1")
+	}
+	var herr *HarnessError
+	if !errors.As(err, &herr) {
+		t.Fatalf("error %T is not a HarnessError", err)
+	}
+	if core.ClassifyError(err) != core.Persistent {
+		t.Errorf("PersistentProb=1 fault classified %v, want persistent", core.ClassifyError(err))
+	}
+
+	transient := Wrap(&innerTarget{}, Config{Seed: 1, ScanReadCorruption: 1})
+	if got := core.ClassifyError(transient.ReadScanChain(&core.Experiment{})); got != core.Transient {
+		t.Errorf("default fault classified %v, want transient", got)
+	}
+
+	werr := Wrap(&innerTarget{}, Config{Seed: 1, ScanWriteError: 1}).WriteScanChain(&core.Experiment{})
+	if werr == nil {
+		t.Fatal("no write error with probability 1")
+	}
+	if core.ClassifyError(werr) != core.Transient {
+		t.Errorf("write fault classified %v, want transient", core.ClassifyError(werr))
+	}
+}
+
+func TestHangStallsWithoutError(t *testing.T) {
+	ct := Wrap(&innerTarget{}, Config{Seed: 1, HangProb: 1, MaxFaults: 1,
+		HangDuration: 30 * time.Millisecond})
+	start := time.Now()
+	if err := ct.WaitForBreakpoint(&core.Experiment{}); err != nil {
+		t.Fatalf("hang produced an error: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("hang stalled only %v, want >= 30ms", d)
+	}
+	// Budget spent: the next wait is instant.
+	start = time.Now()
+	if err := ct.WaitForTermination(&core.Experiment{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("second wait stalled %v after the fault budget was spent", d)
+	}
+}
+
+func TestHealthyPassthrough(t *testing.T) {
+	inner := &innerTarget{}
+	ct := Wrap(inner, Config{Seed: 9})
+	ex := &core.Experiment{}
+	steps := []func(*core.Experiment) error{
+		ct.InitTestCard, ct.LoadWorkload, ct.WriteMemory, ct.RunWorkload,
+		ct.WaitForBreakpoint, ct.ReadScanChain, ct.InjectFault,
+		ct.WriteScanChain, ct.WaitForTermination, ct.ReadMemory,
+	}
+	for i, step := range steps {
+		if err := step(ex); err != nil {
+			t.Fatalf("step %d failed with all probabilities zero: %v", i, err)
+		}
+	}
+	if ct.Faults() != 0 {
+		t.Errorf("Faults() = %d on a healthy passthrough", ct.Faults())
+	}
+	if !ex.ScanVector.Equal(cleanCapture()) {
+		t.Error("passthrough perturbed the scan capture")
+	}
+	if ct.Name() != inner.Name() {
+		t.Errorf("Name() = %q, want the inner target's", ct.Name())
+	}
+}

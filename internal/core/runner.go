@@ -45,6 +45,13 @@ type Summary struct {
 	// emulates CyclesEmulated + CyclesSaved.
 	CyclesEmulated uint64
 	CyclesSaved    uint64
+	// Retried counts failed experiment attempts that were re-executed
+	// under the retry policy; InvalidRuns counts experiments that
+	// exhausted their attempts and were recorded as OutcomeInvalidRun;
+	// QuarantinedBoards counts boards the circuit breaker removed.
+	Retried           int
+	InvalidRuns       int
+	QuarantinedBoards int
 }
 
 // Runner executes fault injection campaigns: a reference run followed by
@@ -74,6 +81,10 @@ type Runner struct {
 	// fw tunes checkpoint fast-forwarding (WithForwarding); the zero
 	// value enables it with defaults.
 	fw ForwardConfig
+
+	// retry is the fault-tolerance policy (WithRetryPolicy); the zero
+	// value keeps the legacy abort-on-first-error behaviour.
+	retry RetryPolicy
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -296,16 +307,21 @@ func (r *Runner) newExperiment(seq int, fault *faultmodel.Fault, trig trigger.Sp
 	if r.camp.LogMode == campaign.LogDetail && r.sink != nil {
 		parent := name
 		ex.DetailSink = func(step int, sv *campaign.StateVector) error {
-			return r.sink.LogExperiment(&campaign.ExperimentRecord{
-				Name:     fmt.Sprintf("%s/step%06d", parent, step),
-				Parent:   parent,
-				Campaign: r.camp.Name,
-				Step:     step,
-				State:    *sv,
-			})
+			return r.sink.LogExperiment(detailRecord(r.camp.Name, parent, step, sv))
 		}
 	}
 	return ex
+}
+
+// detailRecord builds one detail-mode trace row.
+func detailRecord(campaignName, parent string, step int, sv *campaign.StateVector) *campaign.ExperimentRecord {
+	return &campaign.ExperimentRecord{
+		Name:     fmt.Sprintf("%s/step%06d", parent, step),
+		Parent:   parent,
+		Campaign: campaignName,
+		Step:     step,
+		State:    *sv,
+	}
 }
 
 // runOne executes one experiment on the given board target and logs it.
@@ -313,17 +329,28 @@ func (r *Runner) runOne(target TargetSystem, ex *Experiment, parent string) erro
 	if err := r.alg.Run(target, ex); err != nil {
 		return fmt.Errorf("core: campaign %q %s: %w", r.camp.Name, ex.Name, err)
 	}
-	if r.sink != nil {
-		rec, err := ex.Record()
-		if err != nil {
-			return err
-		}
-		rec.Parent = parent
-		if err := r.sink.LogExperiment(rec); err != nil {
-			return err
-		}
+	return r.logResult(ex, parent)
+}
+
+// logResult writes an experiment's end-of-run record to the sink.
+func (r *Runner) logResult(ex *Experiment, parent string) error {
+	if r.sink == nil {
+		return nil
 	}
-	return nil
+	rec, err := ex.Record()
+	if err != nil {
+		return err
+	}
+	rec.Parent = parent
+	return r.sink.LogExperiment(rec)
+}
+
+// sinkLog writes a prebuilt record when a sink is configured.
+func (r *Runner) sinkLog(rec *campaign.ExperimentRecord) error {
+	if r.sink == nil {
+		return nil
+	}
+	return r.sink.LogExperiment(rec)
 }
 
 // Rerun repeats a logged experiment with the same fault and trigger,
@@ -360,13 +387,7 @@ func (r *Runner) Rerun(expName string, detail bool) (*Experiment, error) {
 	if detail {
 		parent := name
 		ex.DetailSink = func(step int, sv *campaign.StateVector) error {
-			return r.sink.LogExperiment(&campaign.ExperimentRecord{
-				Name:     fmt.Sprintf("%s/step%06d", parent, step),
-				Parent:   parent,
-				Campaign: r.camp.Name,
-				Step:     step,
-				State:    *sv,
-			})
+			return r.sink.LogExperiment(detailRecord(r.camp.Name, parent, step, sv))
 		}
 	}
 	if err := r.runOne(r.boardTarget(), ex, expName); err != nil {

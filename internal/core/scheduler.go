@@ -181,158 +181,294 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	// the recording pass: the resulting ForwardSet is handed to every
 	// board worker so faulty experiments can skip the fault-free prefix.
 	// A resumed campaign skips the reference and runs everything cold.
-	var fwSet *ForwardSet
-	if !haveRef {
-		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
-		ref := r.newExperiment(-1, nil, trigger.Spec{})
-		refTarget := r.boardTarget()
-		fwTarget, canForward := refTarget.(Forwarder)
-		if canForward {
-			if plan := r.forwardPlan(); plan != nil {
-				fwTarget.ArmForwardRecording(plan)
-			}
-		}
-		if err := r.runOne(refTarget, ref, ""); err != nil {
-			return nil, err
-		}
-		if canForward {
-			fwSet = fwTarget.TakeForwardSet()
-		}
-		sum.CyclesEmulated += ref.Result.Outcome.Cycles
-		haveRef = true
-		if ckpt != nil {
-			// First durable cursor: the reference is in, nothing else.
-			if err := r.saveCursor(ckpt, hash, true, append([]int(nil), completedSeqs...)); err != nil {
-				return nil, err
-			}
-		}
-	}
-
+	policyOn := r.retry.enabled()
 	var (
 		mu        sync.Mutex
 		firstErr  error
 		done      int
 		sinceCkpt int
 	)
-	work := make(chan plannedExperiment)
-	var wg sync.WaitGroup
-	for b := 0; b < r.boards; b++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			target := r.boardTarget()
-			if fwSet != nil {
-				if fwTarget, ok := target.(Forwarder); ok {
-					fwTarget.SetForwardSet(fwSet)
-				}
-			}
-			for pe := range work {
-				ex := r.newExperiment(pe.seq, &pe.fault, pe.trig)
-				err := r.runOne(target, ex, "")
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				sum.Experiments++
-				if ex.Injected {
-					sum.Injected++
-				}
-				st := ex.Result.Outcome.Status
-				sum.ByStatus[st]++
-				if st == campaign.OutcomeDetected {
-					sum.ByMechanism[ex.Result.Outcome.Mechanism]++
-				}
-				emulated := ex.Result.Outcome.Cycles
-				if ex.Forwarded {
-					sum.Forwarded++
-					sum.CyclesSaved += ex.ForwardedFrom
-					emulated -= ex.ForwardedFrom
-				}
-				sum.CyclesEmulated += emulated
-				done++
-				completedSeqs = append(completedSeqs, pe.seq)
-				var snap []int
-				if ckpt != nil {
-					sinceCkpt++
-					if sinceCkpt >= r.ckptEvery {
-						sinceCkpt = 0
-						snap = append([]int(nil), completedSeqs...)
-					}
-				}
-				ev := ProgressEvent{
-					Campaign:   r.camp.Name,
-					Phase:      "experiment",
-					Done:       resumed + done,
-					Total:      r.camp.NumExperiments,
-					Experiment: ex.Name,
-					Outcome:    st,
-				}
-				mu.Unlock()
-				r.emit(ev)
-				if snap != nil {
-					// The cursor write flushes the sink first, so it
-					// happens outside the progress lock.
-					if err := r.saveCursor(ckpt, hash, true, snap); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-					}
-				}
-			}
-		}()
-	}
-
-	// A pause is a checkpoint of its own: the sink is flushed by
-	// Runner.checkpoint, then this hook persists the cursor, so killing
-	// a paused campaign is always recoverable.
-	if ckpt != nil {
-		r.onPause = func() {
-			mu.Lock()
-			snap := append([]int(nil), completedSeqs...)
-			mu.Unlock()
-			_ = r.saveCursor(ckpt, hash, true, snap)
-		}
-		defer func() { r.onPause = nil }()
-	}
-
-dispatch:
-	for _, pe := range planned {
-		if doneSet[pe.seq] {
-			continue // already durable from the interrupted run
-		}
-		if !r.checkpoint(ctx) {
-			break dispatch
-		}
+	failErr := func(err error) {
 		mu.Lock()
-		failed := firstErr != nil
-		mu.Unlock()
-		if failed {
-			break dispatch
+		if firstErr == nil {
+			firstErr = err
 		}
-		select {
-		case work <- pe:
-		case <-ctx.Done():
-			break dispatch
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	var fwSet *ForwardSet
+	if !haveRef {
+		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
+		var refErr error
+		fwSet, refErr = r.referenceRun(ctx, sum)
+		if refErr != nil {
+			failErr(refErr)
+		} else {
+			haveRef = true
+			if ckpt != nil {
+				// First durable cursor: the reference is in, nothing else.
+				if err := r.saveCursor(ckpt, hash, true, append([]int(nil), completedSeqs...)); err != nil {
+					failErr(err)
+				}
+			}
 		}
 	}
-	close(work)
-	wg.Wait()
+
+	// The pull queue replaces a pushed work channel: a worker that must
+	// give an experiment back (its board got quarantined) can requeue it
+	// for the surviving boards, which a closed channel cannot express.
+	var q *expQueue
+	if !failed() {
+		items := make([]queuedExperiment, 0, len(planned))
+		for _, pe := range planned {
+			if doneSet[pe.seq] {
+				continue // already durable from the interrupted run
+			}
+			items = append(items, queuedExperiment{plannedExperiment: pe})
+		}
+		q = newExpQueue(items)
+
+		// A pause is a checkpoint of its own: the sink is flushed by
+		// Runner.checkpoint, then this hook persists the cursor, so
+		// killing a paused campaign is always recoverable.
+		if ckpt != nil {
+			r.onPause = func() {
+				mu.Lock()
+				snap := append([]int(nil), completedSeqs...)
+				mu.Unlock()
+				_ = r.saveCursor(ckpt, hash, true, snap)
+			}
+			defer func() { r.onPause = nil }()
+		}
+
+		// account folds one resolved experiment (successful or invalid)
+		// into the summary and returns the progress event plus, when a
+		// durable checkpoint is due, a cursor snapshot. Callers emit and
+		// persist outside the lock.
+		account := func(seq int, update func()) (ProgressEvent, []int) {
+			mu.Lock()
+			defer mu.Unlock()
+			update()
+			done++
+			completedSeqs = append(completedSeqs, seq)
+			var snap []int
+			if ckpt != nil {
+				sinceCkpt++
+				if sinceCkpt >= r.ckptEvery {
+					sinceCkpt = 0
+					snap = append([]int(nil), completedSeqs...)
+				}
+			}
+			return ProgressEvent{
+				Campaign: r.camp.Name,
+				Phase:    "experiment",
+				Done:     resumed + done,
+				Total:    r.camp.NumExperiments,
+			}, snap
+		}
+
+		worker := func(boardID int) {
+			target := r.boardTarget()
+			installForwardSet(target, fwSet)
+			// Per-board seeded jitter keeps retry timing deterministic in
+			// tests without coupling it to the experiment RNG streams.
+			jitter := rand.New(rand.NewSource(expSeed(r.camp.Seed, -3-boardID)))
+			consecFails := 0
+			for {
+				if !r.checkpoint(ctx) {
+					q.halt()
+					return
+				}
+				if failed() {
+					q.halt()
+					return
+				}
+				qe, ok := q.pop()
+				if !ok {
+					return
+				}
+				// Attempt loop for the in-hand experiment: each attempt
+				// rebuilds the experiment from its per-sequence seed, so a
+				// retried run is bit-identical to a first-try run.
+				for {
+					attempt := qe.attempts + 1
+					ex := r.newExperiment(qe.seq, &qe.fault, qe.trig)
+					var flushDetail func() error
+					if policyOn {
+						flushDetail = r.bufferDetail(ex)
+					}
+					err := r.execAttempt(ctx, target, ex, attempt)
+					if err == nil && flushDetail != nil {
+						err = flushDetail()
+					}
+					if err == nil {
+						err = r.logResult(ex, "")
+					}
+					if err == nil {
+						consecFails = 0
+						st := ex.Result.Outcome.Status
+						ev, snap := account(qe.seq, func() {
+							sum.Experiments++
+							if ex.Injected {
+								sum.Injected++
+							}
+							sum.ByStatus[st]++
+							if st == campaign.OutcomeDetected {
+								sum.ByMechanism[ex.Result.Outcome.Mechanism]++
+							}
+							emulated := ex.Result.Outcome.Cycles
+							if ex.Forwarded {
+								sum.Forwarded++
+								sum.CyclesSaved += ex.ForwardedFrom
+								emulated -= ex.ForwardedFrom
+							}
+							sum.CyclesEmulated += emulated
+						})
+						ev.Experiment = ex.Name
+						ev.Outcome = st
+						r.emit(ev)
+						if snap != nil {
+							// The cursor write flushes the sink first, so it
+							// happens outside the progress lock.
+							if err := r.saveCursor(ckpt, hash, true, snap); err != nil {
+								failErr(err)
+							}
+						}
+						q.finish()
+						break
+					}
+					// Harness failure. Without a retry policy, the first
+					// error ends dispatch — but through the common
+					// drain/flush path below, not an early return.
+					qe.attempts = attempt
+					class := ClassifyError(err)
+					wrapped := fmt.Errorf("core: campaign %q %s: %w", r.camp.Name, ex.Name, err)
+					if !policyOn || ctx.Err() != nil {
+						failErr(wrapped)
+						q.finish()
+						q.halt()
+						return
+					}
+					consecFails++
+					if qe.attempts >= r.retry.maxAttempts() {
+						// Retries exhausted: record the invalid run so the
+						// plan slot is accounted for, and move on. Analysis
+						// excludes it from every effectiveness ratio.
+						if serr := r.sinkLog(r.invalidRecord(ex, qe.attempts, err)); serr != nil {
+							failErr(serr)
+							q.finish()
+							q.halt()
+							return
+						}
+						ev, snap := account(qe.seq, func() {
+							sum.Experiments++
+							sum.InvalidRuns++
+							sum.ByStatus[campaign.OutcomeInvalidRun]++
+						})
+						ev.Experiment = ex.Name
+						ev.Outcome = campaign.OutcomeInvalidRun
+						r.emit(ev)
+						if snap != nil {
+							if err := r.saveCursor(ckpt, hash, true, snap); err != nil {
+								failErr(err)
+							}
+						}
+						if th := r.retry.BoardFailureThreshold; th > 0 && consecFails >= th {
+							mu.Lock()
+							sum.QuarantinedBoards++
+							mu.Unlock()
+							q.finish()
+							return
+						}
+						q.finish()
+						break
+					}
+					mu.Lock()
+					sum.Retried++
+					mu.Unlock()
+					// Circuit breaker: after too many consecutive failures
+					// the board is suspect — hand the experiment back to
+					// the healthy boards and retire. The failures are
+					// attributed to the board, so the requeued experiment
+					// gets its retry budget back.
+					if th := r.retry.BoardFailureThreshold; th > 0 && consecFails >= th {
+						qe.attempts = 0
+						q.requeue(qe)
+						mu.Lock()
+						sum.QuarantinedBoards++
+						mu.Unlock()
+						return
+					}
+					if class == Wedged && r.factory == nil {
+						// The wedged attempt may still be driving this
+						// target; without a factory there is no replacement
+						// board, so the board retires with its work
+						// requeued (and the campaign fails cleanly if it
+						// was the last one).
+						q.requeue(qe)
+						mu.Lock()
+						sum.QuarantinedBoards++
+						mu.Unlock()
+						return
+					}
+					if class != Persistent {
+						if !sleepCtx(ctx, r.retry.backoff(attempt+1, jitter)) {
+							failErr(wrapped)
+							q.finish()
+							q.halt()
+							return
+						}
+					}
+					if class != Transient && r.factory != nil {
+						// Power cycle: a fresh target from the factory is
+						// the simulated equivalent of cycling the board's
+						// power before the retry (every algorithm re-runs
+						// InitTestCard regardless).
+						target = r.factory()
+						installForwardSet(target, fwSet)
+					}
+				}
+			}
+		}
+
+		var wg sync.WaitGroup
+		for b := 0; b < r.boards; b++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				worker(id)
+			}(b)
+		}
+		wg.Wait()
+
+		// Workers all gone with work left over: every board was
+		// quarantined before the plan finished (a user stop or a fatal
+		// error also leaves work behind, but those report themselves).
+		if n := q.leftover(); n > 0 && !failed() && ctx.Err() == nil {
+			r.mu.Lock()
+			stopped := r.stopped
+			r.mu.Unlock()
+			if !stopped {
+				failErr(fmt.Errorf("core: campaign %q: %d experiments unexecuted: all boards quarantined",
+					r.camp.Name, n))
+			}
+		}
+	}
 
 	// Termination flush: whatever the boards logged must be durable before
-	// the campaign reports its outcome.
+	// the campaign reports its outcome — even (especially) on error, so a
+	// failed campaign keeps every completed result.
 	if ferr := r.flushSink(); ferr != nil && firstErr == nil {
 		firstErr = ferr
 	}
 	// Termination cursor: a stop (or error) leaves a resumable
 	// checkpoint behind; on full completion it records the finished
 	// state until the caller clears it.
-	if ckpt != nil {
+	if ckpt != nil && haveRef {
 		mu.Lock()
 		snap := append([]int(nil), completedSeqs...)
 		mu.Unlock()
@@ -341,7 +477,9 @@ dispatch:
 		}
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		// The partial summary still describes everything that completed
+		// and was flushed above.
+		return sum, firstErr
 	}
 	total := resumed + sum.Experiments
 	if ctx.Err() != nil {
@@ -356,4 +494,152 @@ dispatch:
 	r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: phase,
 		Done: total, Total: r.camp.NumExperiments})
 	return sum, nil
+}
+
+// installForwardSet hands the reference run's checkpoint set to a board
+// target that supports forwarding.
+func installForwardSet(target TargetSystem, set *ForwardSet) {
+	if set == nil {
+		return
+	}
+	if fwTarget, ok := target.(Forwarder); ok {
+		fwTarget.SetForwardSet(set)
+	}
+}
+
+// referenceRun executes the campaign's fault-free reference run, with the
+// same watchdog/retry protection as the experiments when the policy is
+// on, and returns the recorded forward set (nil when the target does not
+// forward or recording was off).
+func (r *Runner) referenceRun(ctx context.Context, sum *Summary) (*ForwardSet, error) {
+	refTarget := r.boardTarget()
+	jitter := rand.New(rand.NewSource(expSeed(r.camp.Seed, -2)))
+	for attempt := 1; ; attempt++ {
+		ref := r.newExperiment(-1, nil, trigger.Spec{})
+		var flushDetail func() error
+		if r.retry.enabled() {
+			flushDetail = r.bufferDetail(ref)
+		}
+		fwTarget, canForward := refTarget.(Forwarder)
+		if canForward {
+			// Re-arming on every attempt resets any partial recording
+			// from a failed one.
+			if plan := r.forwardPlan(); plan != nil {
+				fwTarget.ArmForwardRecording(plan)
+			}
+		}
+		err := r.execAttempt(ctx, refTarget, ref, attempt)
+		if err == nil && flushDetail != nil {
+			err = flushDetail()
+		}
+		if err == nil {
+			err = r.logResult(ref, "")
+		}
+		if err == nil {
+			sum.CyclesEmulated += ref.Result.Outcome.Cycles
+			if canForward {
+				return fwTarget.TakeForwardSet(), nil
+			}
+			return nil, nil
+		}
+		wrapped := fmt.Errorf("core: campaign %q %s: %w", r.camp.Name, ref.Name, err)
+		if !r.retry.enabled() || attempt >= r.retry.maxAttempts() || ctx.Err() != nil {
+			return nil, wrapped
+		}
+		sum.Retried++
+		class := ClassifyError(err)
+		if class == Wedged && r.factory == nil {
+			// The wedged attempt may still be driving this target, and
+			// there is no factory to power-cycle a replacement from.
+			return nil, wrapped
+		}
+		if class != Persistent {
+			if !sleepCtx(ctx, r.retry.backoff(attempt+1, jitter)) {
+				return nil, wrapped
+			}
+		}
+		if class != Transient && r.factory != nil {
+			refTarget = r.factory()
+		}
+	}
+}
+
+// queuedExperiment is one plan entry in the work queue, carrying its
+// accumulated attempt count across requeues.
+type queuedExperiment struct {
+	plannedExperiment
+	attempts int
+}
+
+// expQueue is the pull-based work queue shared by the board workers.
+// Unlike a closed channel, it supports giving work back: a quarantined
+// board requeues its in-hand experiment for the healthy boards.
+type expQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []queuedExperiment
+	inFlight int
+	halted   bool
+}
+
+func newExpQueue(items []queuedExperiment) *expQueue {
+	q := &expQueue{items: items}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// pop hands the next experiment to a worker. It blocks while the queue is
+// empty but other work is still in flight — a failing worker may requeue
+// its experiment — and returns false when the queue is halted or fully
+// drained.
+func (q *expQueue) pop() (queuedExperiment, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.halted {
+			return queuedExperiment{}, false
+		}
+		if len(q.items) > 0 {
+			qe := q.items[0]
+			q.items = q.items[1:]
+			q.inFlight++
+			return qe, true
+		}
+		if q.inFlight == 0 {
+			return queuedExperiment{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// finish marks a popped experiment resolved (logged or recorded invalid).
+func (q *expQueue) finish() {
+	q.mu.Lock()
+	q.inFlight--
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// requeue returns an unresolved in-hand experiment to the queue.
+func (q *expQueue) requeue(qe queuedExperiment) {
+	q.mu.Lock()
+	q.items = append(q.items, qe)
+	q.inFlight--
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// halt makes every current and future pop return false.
+func (q *expQueue) halt() {
+	q.mu.Lock()
+	q.halted = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// leftover reports how many experiments were never resolved.
+func (q *expQueue) leftover() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
 }

@@ -15,7 +15,23 @@ type Controller struct {
 	// scratch is the reusable shift vector for the non-destructive read
 	// path (ReadDRInto), so per-slice reads in hot loops do not allocate.
 	scratch *bitvec.Vector
+	// faultHook, when set, sees (and may corrupt) every completed DR
+	// capture; see SetScanFaultHook.
+	faultHook ScanFaultHook
 }
+
+// ScanFaultHook models a faulty TAP connection: it is invoked after each
+// completed DR shift with the just-captured register contents and may
+// mutate the vector (a corrupted capture — note that the ReadDR double
+// scan then writes the corrupted value back to the device, exactly like
+// a glitched shift on real hardware) or return an error (a failed
+// shift). The chaos harness installs one to test the campaign driver's
+// fault tolerance.
+type ScanFaultHook func(captured *bitvec.Vector) error
+
+// SetScanFaultHook installs (or, with nil, removes) the controller's
+// scan fault hook.
+func (c *Controller) SetScanFaultHook(h ScanFaultHook) { c.faultHook = h }
 
 // ControllerState is the restorable state of the controller and its TAP:
 // the state-machine position, the active instruction and the clock count.
@@ -116,6 +132,12 @@ func (c *Controller) ExchangeDRInto(in, out *bitvec.Vector) error {
 	// n shift edges, word-at-a-time; the last edge exits to Exit1-DR.
 	if err := c.tap.BulkShiftDR(in, out); err != nil {
 		return err
+	}
+	if c.faultHook != nil {
+		if err := c.faultHook(out); err != nil {
+			return fmt.Errorf("scanchain: DR scan (instruction %v): %w",
+				c.tap.ActiveInstruction(), err)
+		}
 	}
 	c.tap.Clock(true, false)  // -> Update-DR
 	c.tap.Clock(false, false) // -> Run-Test/Idle

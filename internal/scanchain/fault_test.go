@@ -1,0 +1,70 @@
+package scanchain
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"goofi/internal/bitvec"
+)
+
+// TestScanFaultHookCorruptsCapture: a hook that flips a bit models a
+// glitched shift — the read reports the corrupted value AND the ReadDR
+// restore pass writes it back, so the device ends up holding it too.
+func TestScanFaultHookCorruptsCapture(t *testing.T) {
+	dev := newFakeDevice()
+	dev.internal.Set(3, true)
+	dev.internal.Set(7, true)
+	want := dev.internal.Clone()
+
+	c := NewController(dev)
+	fired := false
+	c.SetScanFaultHook(func(v *bitvec.Vector) error {
+		if fired {
+			return nil
+		}
+		fired = true
+		v.Flip(5)
+		return nil
+	})
+	got, err := c.ReadInternal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Flip(5)
+	if !got.Equal(want) {
+		t.Errorf("read %v, want bit 5 flipped: %v", got, want)
+	}
+	if !dev.internal.Equal(want) {
+		t.Errorf("device holds %v after restore, want the corrupted %v", dev.internal, want)
+	}
+
+	// Hook removed: the next read is clean and matches the device again.
+	c.SetScanFaultHook(nil)
+	got2, err := c.ReadInternal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(dev.internal) {
+		t.Errorf("clean read %v does not match device %v", got2, dev.internal)
+	}
+}
+
+// TestScanFaultHookError: a hook error aborts the scan before Update-DR
+// and surfaces wrapped with the active instruction.
+func TestScanFaultHookError(t *testing.T) {
+	dev := newFakeDevice()
+	c := NewController(dev)
+	boom := errors.New("shift glitched")
+	c.SetScanFaultHook(func(*bitvec.Vector) error { return boom })
+	_, err := c.ReadInternal()
+	if err == nil {
+		t.Fatal("hook error did not surface")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error %v does not wrap the hook's", err)
+	}
+	if !strings.Contains(err.Error(), "scanchain: DR scan") {
+		t.Errorf("error %q lacks the scan context", err)
+	}
+}

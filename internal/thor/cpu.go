@@ -208,6 +208,13 @@ type CPU struct {
 	// with the CPU itself; detail-mode logging and the pre-injection
 	// analysis attach here.
 	TraceHook func(c *CPU)
+
+	// RunHook, when non-nil, is called once at every Run entry before
+	// any instruction executes. The chaos harness attaches here to
+	// simulate a wedged board: a hook that blocks stalls the run exactly
+	// like silicon that stops answering the test card, recoverable only
+	// by the campaign driver's watchdog.
+	RunHook func(c *CPU)
 }
 
 // New returns a reset CPU with the given configuration.
@@ -736,6 +743,9 @@ func (c *CPU) ResumeIteration() error {
 // re-trigger immediately after a breakpoint stop, so Run can be called
 // again to continue.
 func (c *CPU) Run(cycleBudget uint64) Status {
+	if c.RunHook != nil {
+		c.RunHook(c)
+	}
 	if c.status == StatusBreakpoint {
 		c.status = StatusRunning
 		c.skipBPOnce = true

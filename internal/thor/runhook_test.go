@@ -1,0 +1,40 @@
+package thor_test
+
+import (
+	"testing"
+
+	"goofi/internal/thor"
+)
+
+// TestRunHookFiresAtRunEntry: the chaos harness installs a one-shot
+// self-clearing RunHook to wedge the emulator; the hook must fire once
+// per installation, at Run entry, without perturbing execution.
+func TestRunHookFiresAtRunEntry(t *testing.T) {
+	c, prog := load(t, thor.DefaultConfig(), `
+		ldi r1, 5
+		la r2, result
+		st [r2], r1
+		halt
+	result:
+		.word 0
+	`)
+	fired := 0
+	c.RunHook = func(cc *thor.CPU) {
+		cc.RunHook = nil // one-shot
+		fired++
+	}
+	if st := c.Run(1000); st != thor.StatusHalted {
+		t.Fatalf("run status %v with hook installed", st)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+	if w, err := c.ReadWord32(prog.Symbols["result"]); err != nil || w != 5 {
+		t.Errorf("result word = %d (%v), hook perturbed execution", w, err)
+	}
+	// Self-cleared: another Run does not re-fire it.
+	c.Run(1000)
+	if fired != 1 {
+		t.Errorf("hook re-fired after clearing itself (%d times)", fired)
+	}
+}
