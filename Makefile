@@ -9,12 +9,16 @@ FUZZTIME ?= 15s
 # is always exercised fresh under -race, never served from the cache;
 # the chaos/retry/quarantine tests likewise, because the fault-tolerance
 # layer is all goroutine coordination (watchdogs, pull queue, breaker).
+# The telemetry line pins the observability invariants: the registry's
+# concurrent hot path, the exposition format, and the differential proof
+# that instrumentation never changes LoggedSystemState.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./internal/core/ ./internal/thor/
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/ ./internal/thor/ ./internal/scifi/ . -run 'Snapshot|Forward' -count 1
 	$(GO) test -race ./internal/core/ ./internal/chaos/ . -run 'Chaos|Retry|Quarantine|Watchdog|Panic|InvalidRun|DrainsAndFlushes' -count 1
+	$(GO) test -race ./internal/telemetry/ . -run 'Telemetry|Registry|Prometheus|Handler|Progress' -count 1
 	$(GO) test -race ./...
 
 # tier2 is the crash-safety suite: the WAL crash-injection and resume
@@ -42,13 +46,16 @@ race:
 
 # bench regenerates the microbenchmark numbers, runs the campaign
 # benchmarks three times for stable medians, and emits the comparison
-# blobs: checkpoint fast-forwarding (on vs off) into BENCH_PR3.json and
-# the fault-tolerance layer's healthy-path overhead into BENCH_PR4.json.
+# blobs: checkpoint fast-forwarding (on vs off) into BENCH_PR3.json, the
+# fault-tolerance layer's healthy-path overhead into BENCH_PR4.json, and
+# the fully-observed campaign's instrumentation overhead into
+# BENCH_PR5.json (acceptance: overhead_ratio <= 1.05).
 bench:
 	$(GO) test . -run xxx -bench . -benchtime 1x
 	$(GO) test . -run xxx -bench BenchmarkCampaignPID -benchtime 1x -count 3
 	$(GO) run ./cmd/goofi-bench -reps 3 -o BENCH_PR3.json
 	$(GO) run ./cmd/goofi-bench -mode robustness -reps 5 -o BENCH_PR4.json
+	$(GO) run ./cmd/goofi-bench -mode telemetry -reps 5 -o BENCH_PR5.json
 
 # fuzz runs each native Go fuzzer for a bounded time (override with
 # FUZZTIME=1m etc.). New corpus entries land in the build cache;

@@ -6,12 +6,16 @@
 //
 //	go run ./cmd/goofi-bench -o BENCH_PR3.json
 //	go run ./cmd/goofi-bench -mode robustness -o BENCH_PR4.json
+//	go run ./cmd/goofi-bench -mode telemetry -o BENCH_PR5.json
 //
 // The forwarding mode compares checkpoint fast-forwarding on vs off; the
 // robustness mode compares a healthy campaign with the fault-tolerance
 // layer (watchdogs, retry accounting, circuit breaker) armed vs the bare
 // scheduler — its overhead_ratio is the retry path's cost when nothing
-// ever fails, and must stay within a few percent of 1.
+// ever fails, and must stay within a few percent of 1. The telemetry
+// mode compares a fully observed campaign (span tracer, progress
+// tracker, live /metrics server scraped once a second) against the bare
+// scheduler; its overhead_ratio bounds the instrumentation cost.
 package main
 
 import (
@@ -19,6 +23,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -28,6 +34,7 @@ import (
 	"goofi/internal/faultmodel"
 	"goofi/internal/scifi"
 	"goofi/internal/sqldb"
+	"goofi/internal/telemetry"
 	"goofi/internal/thor"
 	"goofi/internal/trigger"
 	"goofi/internal/workload"
@@ -60,7 +67,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per configuration")
 	boards := flag.Int("boards", 1, "simulated boards")
 	seed := flag.Int64("seed", 1, "campaign seed")
-	mode := flag.String("mode", "forwarding", "comparison: forwarding or robustness")
+	mode := flag.String("mode", "forwarding", "comparison: forwarding, robustness, or telemetry")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 	var err error
@@ -69,6 +76,8 @@ func main() {
 		err = run(*n, *reps, *boards, *seed, *out)
 	case "robustness":
 		err = runRobustness(*n, *reps, *boards, *seed, *out)
+	case "telemetry":
+		err = runTelemetry(*n, *reps, *boards, *seed, *out)
 	default:
 		err = fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -274,6 +283,106 @@ func runRobustness(n, reps, boards int, seed int64, out string) error {
 		return err
 	}
 	fmt.Printf("robustness on: %.1fms; off: %.1fms; overhead %.3fx (%s)\n",
+		on.WallMS, off.WallMS, res.OverheadRatio, out)
+	return os.WriteFile(out, blob, 0o644)
+}
+
+// telemetryResult compares a fully observed campaign against the bare
+// scheduler. overhead_ratio is median telemetry-on wall time over median
+// telemetry-off wall time; the acceptance bound is 1.05 (the span
+// tracer, progress tracker, and a live scraper together must cost under
+// five percent).
+type telemetryResult struct {
+	Benchmark     string   `json:"benchmark"`
+	Date          string   `json:"date"`
+	Experiments   int      `json:"experiments"`
+	Boards        int      `json:"boards"`
+	Reps          int      `json:"reps"`
+	TelemetryOn   []sample `json:"telemetry_on"`
+	TelemetryOff  []sample `json:"telemetry_off"`
+	OverheadRatio float64  `json:"overhead_ratio"`
+}
+
+// runTelemetryOnce executes the campaign with the full observability
+// stack attached: span tracer, progress tracker, and an HTTP server
+// whose /metrics endpoint is scraped every 50ms for the duration — the
+// worst realistic case for exposition-lock contention.
+func runTelemetryOnce(camp *campaign.Campaign, boards int) (sample, error) {
+	tr := telemetry.NewTracer()
+	prog := telemetry.NewProgress(boards)
+	srv, err := telemetry.NewServer("127.0.0.1:0", telemetry.Default, prog)
+	if err != nil {
+		return sample{}, err
+	}
+	defer srv.Close()
+	done := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+	s, err := runOnce(camp, boards, true, core.WithTelemetry(tr, prog))
+	close(done)
+	<-scraped
+	return s, err
+}
+
+func runTelemetry(n, reps, boards int, seed int64, out string) error {
+	res := telemetryResult{
+		Benchmark:   "BenchmarkCampaignPID/telemetry",
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Experiments: n,
+		Boards:      boards,
+		Reps:        reps,
+	}
+	for _, on := range []bool{true, false} { // untimed warmup
+		var err error
+		if on {
+			_, err = runTelemetryOnce(pidCampaign("bench-telemetry", n, seed), boards)
+		} else {
+			_, err = runOnce(pidCampaign("bench-telemetry", n, seed), boards, true)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for rep := 0; rep < reps; rep++ {
+		s, err := runTelemetryOnce(pidCampaign("bench-telemetry", n, seed), boards)
+		if err != nil {
+			return err
+		}
+		res.TelemetryOn = append(res.TelemetryOn, s)
+		s, err = runOnce(pidCampaign("bench-telemetry", n, seed), boards, true)
+		if err != nil {
+			return err
+		}
+		res.TelemetryOff = append(res.TelemetryOff, s)
+	}
+	on, off := medianWall(res.TelemetryOn), medianWall(res.TelemetryOff)
+	res.OverheadRatio = on.WallMS / off.WallMS
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	fmt.Printf("telemetry on: %.1fms; off: %.1fms; overhead %.3fx (%s)\n",
 		on.WallMS, off.WallMS, res.OverheadRatio, out)
 	return os.WriteFile(out, blob, 0o644)
 }

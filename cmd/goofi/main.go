@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -40,6 +41,7 @@ import (
 	"goofi/internal/scifi"
 	"goofi/internal/sqldb"
 	"goofi/internal/swifi"
+	"goofi/internal/telemetry"
 	"goofi/internal/thor"
 	"goofi/internal/trigger"
 	"goofi/internal/workload"
@@ -359,6 +361,92 @@ func (rf *robustFlags) wrapFactory(factory func() core.TargetSystem) func() core
 	}
 }
 
+// telemetryFlags is the observability flag group shared by run and
+// resume: a live HTTP introspection endpoint and a throttled stderr
+// progress line. The atomic metric counters are always on; these flags
+// only control where (and whether) they are exposed.
+type telemetryFlags struct {
+	addr     *string
+	progress *bool
+}
+
+func addTelemetryFlags(fs *flag.FlagSet) *telemetryFlags {
+	return &telemetryFlags{
+		addr: fs.String("telemetry-addr", "",
+			"serve /metrics, /healthz, /progress and pprof on this address (e.g. :9090; empty = off)"),
+		progress: fs.Bool("progress", false,
+			"print a throttled one-line progress report to stderr"),
+	}
+}
+
+// enabled reports whether any telemetry output is requested; the span
+// tracer records (and the CampaignTelemetry table fills) only then.
+func (tf *telemetryFlags) enabled() bool { return *tf.addr != "" || *tf.progress }
+
+// start builds the runner's telemetry attachments and brings up the
+// requested outputs: the Progress tracker (always — the final summary's
+// throughput numbers come from it), the span tracer when telemetry is
+// on, the HTTP server when -telemetry-addr is set, and the stderr
+// reporter when -progress is set. stop shuts the outputs down and is
+// idempotent, so callers stop before printing the summary and also
+// defer it for early error returns.
+func (tf *telemetryFlags) start(boards int) (tr *telemetry.Tracer, prog *telemetry.Progress, stop func(), err error) {
+	prog = telemetry.NewProgress(boards)
+	if tf.enabled() {
+		tr = telemetry.NewTracer()
+	}
+	var srv *telemetry.Server
+	if *tf.addr != "" {
+		srv, err = telemetry.NewServer(*tf.addr, telemetry.Default, prog)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics\n", srv.Addr())
+	}
+	done := make(chan struct{})
+	var reporter sync.WaitGroup
+	if *tf.progress {
+		reporter.Add(1)
+		go func() {
+			defer reporter.Done()
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					s := prog.Snapshot()
+					fmt.Fprintf(os.Stderr, "[%s] %s %d/%d (%.1f rec/s, eta %s, %d retried, %d invalid)\n",
+						s.Campaign, s.Phase, s.Done, s.Total, s.RecordsPerSecond,
+						time.Duration(s.ETASeconds*float64(time.Second)).Round(time.Second),
+						s.Retried, s.InvalidRuns)
+				}
+			}
+		}()
+	}
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			close(done)
+			reporter.Wait()
+			if srv != nil {
+				_ = srv.Close()
+			}
+		})
+	}
+	return tr, prog, stop, nil
+}
+
+// storeSpans drains the tracer into the CampaignTelemetry table so the
+// analysis phase can break campaign time down offline.
+func storeSpans(st *campaign.Store, name string, tr *telemetry.Tracer) error {
+	if tr == nil {
+		return nil
+	}
+	return st.LogTelemetry(name, tr.Drain())
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
@@ -373,6 +461,7 @@ func cmdRun(args []string) error {
 		"disable checkpoint fast-forwarding (every experiment replays the full fault-free prefix)")
 	quiet := fs.Bool("quiet", false, "suppress the progress line")
 	rf := addRobustFlags(fs)
+	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -401,7 +490,16 @@ func cmdRun(args []string) error {
 	// checkpoints and on termination, and Close drains it before save.
 	sink := campaign.NewBatchingSink(st, 0)
 	defer sink.Close()
-	opts := []core.RunnerOption{core.WithSink(sink), core.WithBoards(*boards, factory)}
+	tr, prog, stopTelemetry, err := tf.start(*boards)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
+	opts := []core.RunnerOption{
+		core.WithSink(sink),
+		core.WithBoards(*boards, factory),
+		core.WithTelemetry(tr, prog),
+	}
 	opts = append(opts, rf.options()...)
 	if *ckpt > 0 {
 		opts = append(opts, core.WithCheckpoints(*ckpt))
@@ -437,27 +535,36 @@ func cmdRun(args []string) error {
 		fmt.Printf("\nre-ran %s as %s (outcome: %s)\n", *rerun, ex.Name, ex.Result.Outcome.Status)
 		return nil
 	}
-	// A fresh run starts from a clean slate: previous results and any
-	// stale resume cursor go.
+	// A fresh run starts from a clean slate: previous results, phase
+	// spans, and any stale resume cursor go.
 	if err := st.DeleteCheckpoint(camp.Name); err != nil {
 		return err
 	}
 	if err := st.DeleteExperiments(camp.Name); err != nil {
 		return err
 	}
+	if err := st.DeleteTelemetry(camp.Name); err != nil {
+		return err
+	}
 	sum, err := r.Run(context.Background())
 	if err != nil {
 		return err
 	}
-	return finishCampaign(st, db, sink, camp.Name, sum, 0)
+	stopTelemetry()
+	if err := storeSpans(st, camp.Name, tr); err != nil {
+		return err
+	}
+	return finishCampaign(st, db, sink, camp.Name, sum, 0, prog)
 }
 
 // finishCampaign drains the sink, clears the resume cursor of a fully
 // completed campaign, compacts the WAL into the snapshot, and prints the
 // summary. resumed is how many experiments an earlier interrupted run
-// had already contributed.
+// had already contributed. The wall-clock and throughput lines come
+// from the telemetry Progress tracker so the summary and the /progress
+// endpoint can't drift.
 func finishCampaign(st *campaign.Store, db *sqldb.DB, sink *campaign.BatchingSink,
-	name string, sum *core.Summary, resumed int) error {
+	name string, sum *core.Summary, resumed int, prog *telemetry.Progress) error {
 	if err := sink.Close(); err != nil {
 		return err
 	}
@@ -479,6 +586,14 @@ func finishCampaign(st *campaign.Store, db *sqldb.DB, sink *campaign.BatchingSin
 	} else {
 		fmt.Printf("\ncampaign %s finished: %d experiments, %d injected, %d skipped by pre-injection filter\n",
 			sum.Campaign, sum.Experiments, sum.Injected, sum.Skipped)
+	}
+	if prog != nil {
+		s := prog.Snapshot()
+		if s.ElapsedSeconds > 0 {
+			fmt.Printf("  wall clock: %v (%.1f records/sec)\n",
+				time.Duration(s.ElapsedSeconds*float64(time.Second)).Round(time.Millisecond),
+				s.RecordsPerSecond)
+		}
 	}
 	for status, n := range sum.ByStatus {
 		fmt.Printf("  %-12s %d\n", status, n)
@@ -509,6 +624,7 @@ func cmdResume(args []string) error {
 	retryInvalid := fs.Bool("retry-invalid", false,
 		"delete invalid-run records and re-attempt those experiments")
 	rf := addRobustFlags(fs)
+	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -569,10 +685,16 @@ func cmdResume(args []string) error {
 	factory := rf.wrapFactory(targetFactory(*technique))
 	sink := campaign.NewBatchingSink(st, 0)
 	defer sink.Close()
+	tr, prog, stopTelemetry, err := tf.start(*boards)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
 	opts := []core.RunnerOption{
 		core.WithSink(sink),
 		core.WithBoards(*boards, factory),
 		core.WithResume(cp),
+		core.WithTelemetry(tr, prog),
 	}
 	opts = append(opts, rf.options()...)
 	if *ckpt > 0 {
@@ -591,7 +713,11 @@ func cmdResume(args []string) error {
 	if err != nil {
 		return err
 	}
-	return finishCampaign(st, db, sink, camp.Name, sum, len(cp.Completed))
+	stopTelemetry()
+	if err := storeSpans(st, camp.Name, tr); err != nil {
+		return err
+	}
+	return finishCampaign(st, db, sink, camp.Name, sum, len(cp.Completed), prog)
 }
 
 // progressLine renders the Fig 7 progress window on one terminal line.
@@ -634,6 +760,14 @@ func cmdAnalyze(args []string) error {
 		return err
 	}
 	fmt.Print(rep.Render())
+	// Campaigns run with telemetry also get a harness-side breakdown of
+	// where the wall-clock time went.
+	if pt, err := analysis.PhaseTimes(st, *name); err != nil {
+		return err
+	} else if pt != nil {
+		fmt.Println()
+		fmt.Print(pt.Render())
+	}
 	if *sql {
 		results, err := analysis.RunGenerated(st, *name)
 		if err != nil {

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"goofi/internal/campaign"
+	"goofi/internal/faultmodel"
+	"goofi/internal/scifi"
+	"goofi/internal/sqldb"
+	"goofi/internal/telemetry"
+	"goofi/internal/trigger"
+	"goofi/internal/workload"
+)
+
+func phaseTimeStore(t *testing.T) *campaign.Store {
+	t.Helper()
+	st, err := campaign.NewStore(sqldb.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutTargetSystem(scifi.TargetSystemData("thor-board")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutCampaign(&campaign.Campaign{
+		Name: "pt", TargetName: "thor-board", ChainName: "internal",
+		Locations: []string{"cpu"}, RandomWindow: [2]uint64{10, 1600},
+		FaultModel:     faultmodel.Spec{Kind: faultmodel.Transient},
+		Trigger:        trigger.Spec{Kind: "cycle"},
+		Workload:       workload.Sort(),
+		Termination:    campaign.Termination{TimeoutCycles: 100_000},
+		NumExperiments: 2, LogMode: campaign.LogNormal,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestPhaseTimes aggregates stored spans per phase and per board, and
+// returns nil (not an empty report) for campaigns without telemetry.
+func TestPhaseTimes(t *testing.T) {
+	st := phaseTimeStore(t)
+	rep, err := PhaseTimes(st, "pt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil {
+		t.Fatalf("no spans stored, report = %+v, want nil", rep)
+	}
+	spans := []telemetry.SpanRecord{
+		{Phase: "plan", Board: -1, Seq: -1, WallNS: 100},
+		{Phase: "reference", Board: -1, Seq: -1, EndCycle: 500, WallNS: 300},
+		{Phase: "experiment", Board: 0, Seq: 0, StartCycle: 100, EndCycle: 600, WallNS: 400},
+		{Phase: "experiment", Board: 1, Seq: 1, EndCycle: 700, WallNS: 200},
+	}
+	if err := st.LogTelemetry("pt", spans); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = PhaseTimes(st, "pt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("report = nil with spans stored")
+	}
+	if rep.TotalNS != 1000 {
+		t.Errorf("TotalNS = %d, want 1000", rep.TotalNS)
+	}
+	// Sorted by wall time descending: experiment (600), reference (300),
+	// plan (100).
+	if len(rep.Phases) != 3 || rep.Phases[0].Phase != "experiment" ||
+		rep.Phases[1].Phase != "reference" || rep.Phases[2].Phase != "plan" {
+		t.Fatalf("phases = %+v", rep.Phases)
+	}
+	if rep.Phases[0].Spans != 2 || rep.Phases[0].WallNS != 600 {
+		t.Errorf("experiment aggregate = %+v", rep.Phases[0])
+	}
+	if rep.Phases[0].Cycles != 500+700 {
+		t.Errorf("experiment cycles = %d, want 1200", rep.Phases[0].Cycles)
+	}
+	if rep.BoardWallNS[0] != 400 || rep.BoardWallNS[1] != 200 {
+		t.Errorf("board wall = %+v", rep.BoardWallNS)
+	}
+	out := rep.Render()
+	for _, want := range []string{"Phase time (campaign pt)", "experiment", "Board utilization", "board 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

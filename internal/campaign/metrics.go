@@ -1,0 +1,20 @@
+package campaign
+
+import "goofi/internal/telemetry"
+
+// Storage-pipeline metrics: what the batching sink queued and grouped,
+// and how long the underlying INSERT statements took. The histogram is
+// observed around Store.LogExperiment/LogExperimentBatch, so it measures
+// the sqldb engine (parse cache, constraint pass, WAL append) rather
+// than the sink's queueing.
+var (
+	mSinkRecords = telemetry.NewCounter("goofi_campaign_sink_records_total",
+		"Experiment records accepted by the batching sink.")
+	mSinkBatches = telemetry.NewCounter("goofi_campaign_sink_batches_total",
+		"Multi-row batches handed to the sink's writer goroutine.")
+	mSinkFlushes = telemetry.NewCounter("goofi_campaign_sink_flushes_total",
+		"Explicit sink flushes (checkpoints, pauses, termination).")
+	mInsertSeconds = telemetry.NewHistogram("goofi_sqldb_insert_seconds",
+		"Latency of LoggedSystemState INSERT statements (single-row and batched).",
+		telemetry.DurationBuckets)
+)

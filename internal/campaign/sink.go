@@ -79,6 +79,7 @@ func (s *BatchingSink) LogExperiment(r *ExperimentRecord) error {
 		return fmt.Errorf("campaign: sink is closed")
 	}
 	s.buf = append(s.buf, r)
+	mSinkRecords.Inc()
 	if len(s.buf) < s.batchSize {
 		s.mu.Unlock()
 		return nil
@@ -87,6 +88,7 @@ func (s *BatchingSink) LogExperiment(r *ExperimentRecord) error {
 	s.buf = nil
 	s.pending++
 	s.mu.Unlock()
+	mSinkBatches.Inc()
 	s.work <- batch
 	return nil
 }
@@ -94,12 +96,14 @@ func (s *BatchingSink) LogExperiment(r *ExperimentRecord) error {
 // Flush submits the partial batch and blocks until every queued record is
 // durable (or a write failed).
 func (s *BatchingSink) Flush() error {
+	mSinkFlushes.Inc()
 	s.mu.Lock()
 	if len(s.buf) > 0 && !s.closed {
 		batch := s.buf
 		s.buf = nil
 		s.pending++
 		s.mu.Unlock()
+		mSinkBatches.Inc()
 		s.work <- batch
 		s.mu.Lock()
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"goofi/internal/sqldb"
 )
@@ -49,6 +50,8 @@ var Schema = []string{
 		ON LoggedSystemState (parentExperiment)`,
 	// Durable campaign cursor for crash recovery (see checkpoint.go).
 	checkpointDDL,
+	// Campaign phase spans from the telemetry tracer (see telemetry.go).
+	telemetryDDL,
 }
 
 // NewStore initialises the schema on the given database and returns a
@@ -237,7 +240,9 @@ func (s *Store) LogExperiment(r *ExperimentRecord) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	_, err = s.insertExp.Exec(args...)
+	mInsertSeconds.Observe(time.Since(start).Seconds())
 	return err
 }
 
@@ -264,7 +269,9 @@ func (s *Store) LogExperimentBatch(recs []*ExperimentRecord) error {
 			return err
 		}
 	}
+	start := time.Now()
 	_, err = s.db.Exec(sb.String(), args...)
+	mInsertSeconds.Observe(time.Since(start).Seconds())
 	return err
 }
 

@@ -1,0 +1,89 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"goofi/internal/sqldb"
+	"goofi/internal/telemetry"
+)
+
+// CampaignTelemetry keeps the paper's everything-in-the-database design
+// for the observability layer: the tracer's phase spans (plan,
+// reference, one per experiment) land here after the campaign finishes,
+// so `goofi analyze` can report where campaign time went without the
+// live /metrics endpoint.
+
+// telemetryDDL is appended to Schema in store.go.
+const telemetryDDL = `CREATE TABLE IF NOT EXISTS CampaignTelemetry (
+		campaignName TEXT NOT NULL,
+		phase        TEXT NOT NULL,
+		board        INTEGER NOT NULL,
+		seq          INTEGER NOT NULL,
+		startCycle   INTEGER NOT NULL,
+		endCycle     INTEGER NOT NULL,
+		wallNS       INTEGER NOT NULL,
+		FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName)
+	)`
+
+// LogTelemetry stores a batch of phase spans for a campaign with one
+// multi-row INSERT. Cycle fields pass through int64 (the engine's
+// INTEGER); campaign cycle counts stay far below 2^63.
+func (s *Store) LogTelemetry(campaignName string, spans []telemetry.SpanRecord) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO CampaignTelemetry VALUES `)
+	args := make([]sqldb.Value, 0, len(spans)*7)
+	for i, sp := range spans {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(`(?, ?, ?, ?, ?, ?, ?)`)
+		args = append(args,
+			sqldb.Text(campaignName),
+			sqldb.Text(sp.Phase),
+			sqldb.Int(int64(sp.Board)),
+			sqldb.Int(int64(sp.Seq)),
+			sqldb.Int(int64(sp.StartCycle)),
+			sqldb.Int(int64(sp.EndCycle)),
+			sqldb.Int(sp.WallNS),
+		)
+	}
+	_, err := s.db.Exec(sb.String(), args...)
+	if err != nil {
+		return fmt.Errorf("campaign: log telemetry for %q: %w", campaignName, err)
+	}
+	return nil
+}
+
+// TelemetrySpans loads a campaign's stored phase spans in insertion
+// order.
+func (s *Store) TelemetrySpans(campaignName string) ([]telemetry.SpanRecord, error) {
+	r, err := s.db.Query(`SELECT phase, board, seq, startCycle, endCycle, wallNS
+		FROM CampaignTelemetry WHERE campaignName = ?`, sqldb.Text(campaignName))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]telemetry.SpanRecord, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, telemetry.SpanRecord{
+			Phase:      row[0].S,
+			Board:      int(row[1].I),
+			Seq:        int(row[2].I),
+			StartCycle: uint64(row[3].I),
+			EndCycle:   uint64(row[4].I),
+			WallNS:     row[5].I,
+		})
+	}
+	return out, nil
+}
+
+// DeleteTelemetry removes a campaign's stored spans (fresh runs start
+// clean, like DeleteExperiments for records).
+func (s *Store) DeleteTelemetry(campaignName string) error {
+	_, err := s.db.Exec(`DELETE FROM CampaignTelemetry WHERE campaignName = ?`,
+		sqldb.Text(campaignName))
+	return err
+}

@@ -1,0 +1,62 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"goofi/internal/telemetry"
+)
+
+func testSpans() []telemetry.SpanRecord {
+	return []telemetry.SpanRecord{
+		{Phase: "plan", Board: -1, Seq: -1, WallNS: 120_000},
+		{Phase: "reference", Board: -1, Seq: -1, EndCycle: 1800, WallNS: 950_000},
+		{Phase: "experiment", Board: 0, Seq: 0, StartCycle: 400, EndCycle: 2100, WallNS: 310_000},
+		{Phase: "experiment", Board: 1, Seq: 1, StartCycle: 0, EndCycle: 1900, WallNS: 620_000},
+		{Phase: "invalid", Board: 0, Seq: 2, WallNS: 80_000},
+	}
+}
+
+// TestTelemetryRoundTrip: spans survive the CampaignTelemetry table
+// byte-for-byte and DeleteTelemetry clears them for a fresh run.
+func TestTelemetryRoundTrip(t *testing.T) {
+	st := sinkFixture(t)
+	spans := testSpans()
+	if err := st.LogTelemetry("camp-1", spans); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.TelemetrySpans("camp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spans) {
+		t.Errorf("round trip:\ngot  %+v\nwant %+v", got, spans)
+	}
+	// Other campaigns' spans are invisible.
+	other, err := st.TelemetrySpans("no-such-campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(other) != 0 {
+		t.Errorf("foreign campaign sees %d spans", len(other))
+	}
+	if err := st.DeleteTelemetry("camp-1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = st.TelemetrySpans("camp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("DeleteTelemetry left %d spans", len(got))
+	}
+}
+
+// TestLogTelemetryEmpty: storing no spans is a no-op, not an invalid
+// INSERT.
+func TestLogTelemetryEmpty(t *testing.T) {
+	st := sinkFixture(t)
+	if err := st.LogTelemetry("camp-1", nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"goofi/internal/bitvec"
 	"goofi/internal/core"
 	"goofi/internal/scanchain"
+	"goofi/internal/telemetry"
 	"goofi/internal/thor"
 )
 
@@ -111,8 +112,9 @@ func Wrap(inner core.TargetSystem, cfg Config) *Target {
 // Faults reports how many harness faults have been injected so far.
 func (t *Target) Faults() int { return t.faults }
 
-// fire draws one fault decision, honouring the MaxFaults budget.
-func (t *Target) fire(p float64) bool {
+// fire draws one fault decision, honouring the MaxFaults budget. kind
+// is the pre-resolved per-kind counter bumped when the fault fires.
+func (t *Target) fire(p float64, kind *telemetry.Counter) bool {
 	if p <= 0 || (t.cfg.MaxFaults > 0 && t.faults >= t.cfg.MaxFaults) {
 		return false
 	}
@@ -120,6 +122,7 @@ func (t *Target) fire(p float64) bool {
 		return false
 	}
 	t.faults++
+	kind.Inc()
 	return true
 }
 
@@ -168,7 +171,7 @@ func (t *Target) WaitForTermination(ex *core.Experiment) error {
 // CPU, at the call boundary otherwise. No error is returned either way:
 // a wedge is pure lost time until the runner's watchdog classifies it.
 func (t *Target) maybeHang() {
-	if !t.fire(t.cfg.HangProb) {
+	if !t.fire(t.cfg.HangProb, mFaultsHang) {
 		return
 	}
 	d := t.cfg.HangDuration
@@ -192,7 +195,7 @@ func (t *Target) maybeHang() {
 // the double scan), or by flipping a bit of ex.ScanVector at the call
 // boundary. Unless Silent, the corruption is detected and reported.
 func (t *Target) ReadScanChain(ex *core.Experiment) error {
-	if !t.fire(t.cfg.ScanReadCorruption) {
+	if !t.fire(t.cfg.ScanReadCorruption, mFaultsScanRead) {
 		return t.inner.ReadScanChain(ex)
 	}
 	var herr error
@@ -232,7 +235,7 @@ func (t *Target) ReadScanChain(ex *core.Experiment) error {
 // through the controller hook when available, so the error surfaces from
 // inside the TAP driver.
 func (t *Target) WriteScanChain(ex *core.Experiment) error {
-	if !t.fire(t.cfg.ScanWriteError) {
+	if !t.fire(t.cfg.ScanWriteError, mFaultsScanWrite) {
 		return t.inner.WriteScanChain(ex)
 	}
 	herr := &HarnessError{Step: "writeScanChain", Class: t.class(),

@@ -1,0 +1,14 @@
+package chaos
+
+import "goofi/internal/telemetry"
+
+// Injected-fault counter by kind. Children are resolved once at init so
+// fire never touches the family's mutex.
+var mFaults = telemetry.NewCounterVec("goofi_chaos_faults_total",
+	"Harness faults injected by the chaos wrapper, by kind.", "kind")
+
+var (
+	mFaultsHang      = mFaults.With("hang")
+	mFaultsScanRead  = mFaults.With("scan-read")
+	mFaultsScanWrite = mFaults.With("scan-write")
+)

@@ -135,6 +135,7 @@ func (r *Runner) execAttempt(ctx context.Context, target TargetSystem, ex *Exper
 		select {
 		case err = <-done:
 		case <-timer.C:
+			mWatchdogFires.Inc()
 			return &ExperimentError{Class: Wedged, Experiment: ex.Name, Attempt: attempt,
 				Err: fmt.Errorf("watchdog: no response within %v", r.retry.WatchdogTimeout)}
 		case <-ctx.Done():
@@ -145,6 +146,7 @@ func (r *Runner) execAttempt(ctx context.Context, target TargetSystem, ex *Exper
 		return err
 	}
 	if cc := r.retry.CycleCap; cc > 0 && ex.Result.Outcome.Cycles > cc {
+		mWatchdogFires.Inc()
 		return &ExperimentError{Class: Wedged, Experiment: ex.Name, Attempt: attempt,
 			Err: fmt.Errorf("watchdog: run emulated %d cycles, cap %d", ex.Result.Outcome.Cycles, cc)}
 	}

@@ -9,6 +9,7 @@ import (
 	"goofi/internal/campaign"
 	"goofi/internal/faultmodel"
 	"goofi/internal/scanchain"
+	"goofi/internal/telemetry"
 	"goofi/internal/trigger"
 )
 
@@ -85,6 +86,12 @@ type Runner struct {
 	// retry is the fault-tolerance policy (WithRetryPolicy); the zero
 	// value keeps the legacy abort-on-first-error behaviour.
 	retry RetryPolicy
+
+	// tracer and progress are the allocating half of the telemetry layer
+	// (WithTelemetry); both are nil-safe and nil by default. The atomic
+	// counters in metrics.go are always on regardless.
+	tracer   *telemetry.Tracer
+	progress *telemetry.Progress
 
 	mu      sync.Mutex
 	cond    *sync.Cond

@@ -8,10 +8,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"goofi/internal/campaign"
 	"goofi/internal/faultmodel"
+	"goofi/internal/telemetry"
 	"goofi/internal/trigger"
 )
 
@@ -130,11 +133,16 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	})
 	defer cancelWatch()
 
+	r.progress.Start(r.camp.Name, r.camp.NumExperiments)
+	r.progress.SetPhase("plan")
+	planStart := time.Now()
 	planned, skipped, err := r.plan()
 	if err != nil {
 		return nil, err
 	}
 	hash := r.planHashOf(planned)
+	r.tracer.Record(telemetry.SpanRecord{Phase: "plan", Board: -1, Seq: -1,
+		WallNS: time.Since(planStart).Nanoseconds()})
 
 	// Durable checkpointing and resume state. doneSet marks experiments
 	// whose results are already stored from an earlier (interrupted)
@@ -166,6 +174,7 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 		resumed = len(completedSeqs)
 		haveRef = r.resume.Reference
 	}
+	r.progress.AddDone(resumed)
 
 	sum := &Summary{
 		Campaign:    r.camp.Name,
@@ -203,8 +212,12 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	var fwSet *ForwardSet
 	if !haveRef {
 		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
+		r.progress.SetPhase("reference")
+		refStart := time.Now()
 		var refErr error
 		fwSet, refErr = r.referenceRun(ctx, sum)
+		r.tracer.Record(telemetry.SpanRecord{Phase: "reference", Board: -1, Seq: -1,
+			EndCycle: sum.CyclesEmulated, WallNS: time.Since(refStart).Nanoseconds()})
 		if refErr != nil {
 			failErr(refErr)
 		} else {
@@ -231,6 +244,7 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 			items = append(items, queuedExperiment{plannedExperiment: pe})
 		}
 		q = newExpQueue(items)
+		r.progress.SetPhase("experiment")
 
 		// A pause is a checkpoint of its own: the sink is flushed by
 		// Runner.checkpoint, then this hook persists the cursor, so
@@ -278,6 +292,10 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 			// tests without coupling it to the experiment RNG streams.
 			jitter := rand.New(rand.NewSource(expSeed(r.camp.Seed, -3-boardID)))
 			consecFails := 0
+			// The busy-time child is resolved once per worker so the hot
+			// loop never touches the family's mutex.
+			busyNS := mBoardBusyNS.With(strconv.Itoa(boardID))
+			defer r.progress.BoardIdle(boardID)
 			for {
 				if !r.checkpoint(ctx) {
 					q.halt()
@@ -287,10 +305,14 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 					q.halt()
 					return
 				}
+				r.progress.BoardIdle(boardID)
 				qe, ok := q.pop()
 				if !ok {
 					return
 				}
+				mDispatched.Inc()
+				r.progress.BoardRunning(boardID, qe.seq)
+				expStart := time.Now()
 				// Attempt loop for the in-hand experiment: each attempt
 				// rebuilds the experiment from its per-sequence seed, so a
 				// retried run is bit-identical to a first-try run.
@@ -310,7 +332,15 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 					}
 					if err == nil {
 						consecFails = 0
+						expNS := time.Since(expStart).Nanoseconds()
+						busyNS.Add(uint64(expNS))
 						st := ex.Result.Outcome.Status
+						emulated := ex.Result.Outcome.Cycles
+						saved := uint64(0)
+						if ex.Forwarded {
+							saved = ex.ForwardedFrom
+							emulated -= saved
+						}
 						ev, snap := account(qe.seq, func() {
 							sum.Experiments++
 							if ex.Injected {
@@ -320,13 +350,27 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 							if st == campaign.OutcomeDetected {
 								sum.ByMechanism[ex.Result.Outcome.Mechanism]++
 							}
-							emulated := ex.Result.Outcome.Cycles
 							if ex.Forwarded {
 								sum.Forwarded++
-								sum.CyclesSaved += ex.ForwardedFrom
-								emulated -= ex.ForwardedFrom
+								sum.CyclesSaved += saved
 							}
 							sum.CyclesEmulated += emulated
+						})
+						mCompleted.Inc()
+						mCyclesEmulated.Add(emulated)
+						mCyclesSaved.Add(saved)
+						if ex.Forwarded {
+							mForwarded.Inc()
+							r.progress.Forwarded()
+						}
+						r.progress.Done()
+						r.tracer.Record(telemetry.SpanRecord{
+							Phase:      "experiment",
+							Board:      boardID,
+							Seq:        qe.seq,
+							StartCycle: ex.ForwardedFrom,
+							EndCycle:   ex.Result.Outcome.Cycles,
+							WallNS:     expNS,
 						})
 						ev.Experiment = ex.Name
 						ev.Outcome = st
@@ -369,6 +413,13 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 							sum.InvalidRuns++
 							sum.ByStatus[campaign.OutcomeInvalidRun]++
 						})
+						expNS := time.Since(expStart).Nanoseconds()
+						busyNS.Add(uint64(expNS))
+						mInvalidRuns.Inc()
+						r.progress.Invalid()
+						r.progress.Done()
+						r.tracer.Record(telemetry.SpanRecord{Phase: "invalid", Board: boardID,
+							Seq: qe.seq, WallNS: expNS})
 						ev.Experiment = ex.Name
 						ev.Outcome = campaign.OutcomeInvalidRun
 						r.emit(ev)
@@ -381,6 +432,8 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 							mu.Lock()
 							sum.QuarantinedBoards++
 							mu.Unlock()
+							mQuarantined.Inc()
+							r.progress.BoardQuarantined(boardID)
 							q.finish()
 							return
 						}
@@ -390,6 +443,8 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 					mu.Lock()
 					sum.Retried++
 					mu.Unlock()
+					retryCounter(class).Inc()
+					r.progress.Retried()
 					// Circuit breaker: after too many consecutive failures
 					// the board is suspect — hand the experiment back to
 					// the healthy boards and retire. The failures are
@@ -401,6 +456,8 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 						mu.Lock()
 						sum.QuarantinedBoards++
 						mu.Unlock()
+						mQuarantined.Inc()
+						r.progress.BoardQuarantined(boardID)
 						return
 					}
 					if class == Wedged && r.factory == nil {
@@ -413,10 +470,14 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 						mu.Lock()
 						sum.QuarantinedBoards++
 						mu.Unlock()
+						mQuarantined.Inc()
+						r.progress.BoardQuarantined(boardID)
 						return
 					}
 					if class != Persistent {
-						if !sleepCtx(ctx, r.retry.backoff(attempt+1, jitter)) {
+						d := r.retry.backoff(attempt+1, jitter)
+						mBackoffNS.Add(uint64(d))
+						if !sleepCtx(ctx, d) {
 							failErr(wrapped)
 							q.finish()
 							q.halt()
@@ -479,10 +540,12 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	if firstErr != nil {
 		// The partial summary still describes everything that completed
 		// and was flushed above.
+		r.progress.SetPhase("failed")
 		return sum, firstErr
 	}
 	total := resumed + sum.Experiments
 	if ctx.Err() != nil {
+		r.progress.SetPhase("stopped")
 		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "stopped",
 			Done: total, Total: r.camp.NumExperiments})
 		return sum, ctx.Err()
@@ -491,6 +554,7 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	if total < r.camp.NumExperiments {
 		phase = "stopped"
 	}
+	r.progress.SetPhase(phase)
 	r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: phase,
 		Done: total, Total: r.camp.NumExperiments})
 	return sum, nil
@@ -548,13 +612,17 @@ func (r *Runner) referenceRun(ctx context.Context, sum *Summary) (*ForwardSet, e
 		}
 		sum.Retried++
 		class := ClassifyError(err)
+		retryCounter(class).Inc()
+		r.progress.Retried()
 		if class == Wedged && r.factory == nil {
 			// The wedged attempt may still be driving this target, and
 			// there is no factory to power-cycle a replacement from.
 			return nil, wrapped
 		}
 		if class != Persistent {
-			if !sleepCtx(ctx, r.retry.backoff(attempt+1, jitter)) {
+			d := r.retry.backoff(attempt+1, jitter)
+			mBackoffNS.Add(uint64(d))
+			if !sleepCtx(ctx, d) {
 				return nil, wrapped
 			}
 		}
@@ -585,6 +653,7 @@ type expQueue struct {
 func newExpQueue(items []queuedExperiment) *expQueue {
 	q := &expQueue{items: items}
 	q.cond = sync.NewCond(&q.mu)
+	mQueueDepth.Set(int64(len(items)))
 	return q
 }
 
@@ -603,6 +672,7 @@ func (q *expQueue) pop() (queuedExperiment, bool) {
 			qe := q.items[0]
 			q.items = q.items[1:]
 			q.inFlight++
+			mQueueDepth.Set(int64(len(q.items)))
 			return qe, true
 		}
 		if q.inFlight == 0 {
@@ -625,6 +695,7 @@ func (q *expQueue) requeue(qe queuedExperiment) {
 	q.mu.Lock()
 	q.items = append(q.items, qe)
 	q.inFlight--
+	mQueueDepth.Set(int64(len(q.items)))
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }

@@ -133,6 +133,8 @@ func (c *Controller) ExchangeDRInto(in, out *bitvec.Vector) error {
 	if err := c.tap.BulkShiftDR(in, out); err != nil {
 		return err
 	}
+	mExchanges.Inc()
+	mBitsShifted.Add(uint64(n))
 	if c.faultHook != nil {
 		if err := c.faultHook(out); err != nil {
 			return fmt.Errorf("scanchain: DR scan (instruction %v): %w",

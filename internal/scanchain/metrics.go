@@ -1,0 +1,13 @@
+package scanchain
+
+import "goofi/internal/telemetry"
+
+// TAP-level counters. ExchangeDRInto is the one funnel every scan goes
+// through (ReadDR's double scan counts as two exchanges, matching what
+// the wire would see), so two atomic adds there cover the whole chain.
+var (
+	mExchanges = telemetry.NewCounter("goofi_scanchain_scan_exchanges_total",
+		"Completed DR scans (capture + shift + update) through the TAP.")
+	mBitsShifted = telemetry.NewCounter("goofi_scanchain_bits_shifted_total",
+		"Bits shifted through the scan chain across all DR scans.")
+)

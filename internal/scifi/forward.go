@@ -129,6 +129,7 @@ func (t *Target) fwMaybeRecord(ex *core.Experiment) {
 		State:   bs,
 	})
 	rec.set.Bytes += fresh
+	mFwRecorded.Inc()
 }
 
 // fwSliceBudget shrinks a run-slice budget so the reference run stops at
@@ -203,6 +204,7 @@ func (t *Target) fwRestore(ex *core.Experiment) {
 	ex.Result.Outputs = cloneOutputs(bs.outputs)
 	ex.Forwarded = true
 	ex.ForwardedFrom = cp.Cycle
+	mFwRestores.Inc()
 }
 
 // cloneOutputs deep-copies an output map; nil stays nil.

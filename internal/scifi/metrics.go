@@ -1,0 +1,13 @@
+package scifi
+
+import "goofi/internal/telemetry"
+
+// Checkpoint-forwarding counters. Cycle totals (emulated vs saved) are
+// accounted centrally by the scheduler, which already folds them into
+// the campaign summary; here we count the forwarding machinery itself.
+var (
+	mFwRecorded = telemetry.NewCounter("goofi_scifi_forward_checkpoints_recorded_total",
+		"Board snapshots captured during reference runs for checkpoint forwarding.")
+	mFwRestores = telemetry.NewCounter("goofi_scifi_forward_restores_total",
+		"Experiments that restored a forward checkpoint instead of cold-starting.")
+)

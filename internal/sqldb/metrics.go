@@ -1,0 +1,17 @@
+package sqldb
+
+import "goofi/internal/telemetry"
+
+// Write-ahead-log and snapshot counters. writeFrame and syncLocked run
+// under the WAL's own mutex; the adds are atomic anyway so the counters
+// stay truthful if that ever changes.
+var (
+	mWALRecords = telemetry.NewCounter("goofi_sqldb_wal_records_total",
+		"Frames appended to the write-ahead log (epoch and statement records).")
+	mWALBytes = telemetry.NewCounter("goofi_sqldb_wal_bytes_total",
+		"Bytes appended to the write-ahead log, including frame headers.")
+	mWALBarriers = telemetry.NewCounter("goofi_sqldb_wal_barriers_total",
+		"Durability barriers (flush + fsync) on the write-ahead log.")
+	mCompactions = telemetry.NewCounter("goofi_sqldb_checkpoint_compactions_total",
+		"Snapshot checkpoints that compacted the write-ahead log.")
+)

@@ -240,6 +240,7 @@ func (db *DB) Checkpoint() error {
 		return err
 	}
 	db.epoch = next
+	mCompactions.Inc()
 	return nil
 }
 

@@ -160,13 +160,17 @@ func (w *WAL) writeFrame(payload []byte) {
 	}
 	if _, err := w.bw.Write(payload); err != nil {
 		w.err = fmt.Errorf("sqldb: wal append: %w", err)
+		return
 	}
+	mWALRecords.Inc()
+	mWALBytes.Add(uint64(walFrameHeader + len(payload)))
 }
 
 func (w *WAL) syncLocked() {
 	if w.err != nil {
 		return
 	}
+	mWALBarriers.Inc()
 	if err := w.bw.Flush(); err != nil {
 		w.err = fmt.Errorf("sqldb: wal flush: %w", err)
 		return

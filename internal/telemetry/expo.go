@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format v0.0.4: a # HELP and # TYPE line per family, then
+// one sample line per value. Histograms render cumulative _bucket
+// series with an le label (+Inf last), then _sum and _count. Families
+// render one line per label value, sorted, so output order is stable
+// for a given set of observed labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			m.name, escapeHelp(m.help), m.name, m.kind); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case m.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Value())
+		case m.hist != nil:
+			err = writeHistogram(w, m.name, m.hist)
+		case m.vec != nil:
+			labels, vals := m.vec.snapshot()
+			for i, l := range labels {
+				if _, err = fmt.Fprintf(w, "%s{%s=%q} %d\n", m.name, m.vec.label, escapeLabel(l), vals[i]); err != nil {
+					return err
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return err
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, with NaN/Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslash, quote, and newline in a label value.
+// %q in the caller already quotes, so only newlines need flattening
+// beyond what Go's quoting provides; we keep the value printable.
+func escapeLabel(s string) string {
+	return strings.ReplaceAll(s, "\n", " ")
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// HELP/TYPE headers, integer-rendered counters and gauges, cumulative
+// histogram buckets ending in +Inf, and label-sorted counter families.
+// A scrape-side parser regression shows up here before it shows up in a
+// dashboard.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("goofi_test_events_total", "Events observed.")
+	c.Add(42)
+	g := r.NewGauge("goofi_test_queue_depth", "Experiments waiting.")
+	g.Set(7)
+	h := r.NewHistogram("goofi_test_latency_seconds", "Request latency.", []float64{0.01, 0.5})
+	h.Observe(0.005)
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(2)
+	v := r.NewCounterVec("goofi_test_faults_total", "Faults by kind.", "kind")
+	v.With("scan-read").Add(3)
+	v.With("hang").Inc()
+
+	const want = `# HELP goofi_test_events_total Events observed.
+# TYPE goofi_test_events_total counter
+goofi_test_events_total 42
+# HELP goofi_test_queue_depth Experiments waiting.
+# TYPE goofi_test_queue_depth gauge
+goofi_test_queue_depth 7
+# HELP goofi_test_latency_seconds Request latency.
+# TYPE goofi_test_latency_seconds histogram
+goofi_test_latency_seconds_bucket{le="0.01"} 1
+goofi_test_latency_seconds_bucket{le="0.5"} 3
+goofi_test_latency_seconds_bucket{le="+Inf"} 4
+goofi_test_latency_seconds_sum 2.505
+goofi_test_latency_seconds_count 4
+# HELP goofi_test_faults_total Faults by kind.
+# TYPE goofi_test_faults_total counter
+goofi_test_faults_total{kind="hang"} 1
+goofi_test_faults_total{kind="scan-read"} 3
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFormatFloat pins the special values and the shortest round-trip
+// rendering used for bucket bounds and sums.
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0.00001, "1e-05"},
+		{0.25, "0.25"},
+		{1, "1"},
+	} {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestEscapeHelp: backslashes and newlines must not break the
+// line-oriented format.
+func TestEscapeHelp(t *testing.T) {
+	if got := escapeHelp("a\\b\nc"); got != `a\\b\nc` {
+		t.Errorf("escapeHelp = %q", got)
+	}
+}

@@ -1,0 +1,265 @@
+// Package telemetry is GOOFI's observability layer: a dependency-free
+// metrics core (atomic counters, gauges, fixed-bucket histograms and
+// single-label families), a span tracer for campaign phases, a live
+// campaign progress tracker, and an HTTP introspection server exposing
+// everything as Prometheus text (exposition format v0.0.4) plus a
+// /progress JSON endpoint and net/http/pprof.
+//
+// Design constraints, in order:
+//
+//  1. Determinism: telemetry never touches experiment RNGs or record
+//     bytes. Reading a wall clock and bumping atomics is allowed;
+//     anything that could shift an experiment outcome is not. The
+//     telemetry differential test (telemetry on vs off → byte-identical
+//     LoggedSystemState) enforces this.
+//  2. Hot-path cost: instrumentation on the experiment hot path is a
+//     handful of atomic adds — no allocation, no locks, no formatting.
+//     Snapshotting, label resolution and exposition rendering pay the
+//     cost instead, on the scrape path.
+//  3. No dependencies: the exposition format is hand-rolled; the only
+//     imports are the standard library.
+//
+// Metric naming follows the Prometheus convention
+// goofi_<subsystem>_<what>_<unit>: counters end in _total (with _ns_total
+// for accumulated nanoseconds), gauges name a state, histograms name
+// their unit (e.g. goofi_sqldb_insert_seconds).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+// The zero value is usable; registered counters come from NewCounter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable signed value, safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+// Observe is allocation-free: a short linear scan plus three atomic adds.
+// The sum is a float64 maintained with a compare-and-swap loop.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// newHistogram builds a histogram over the given ascending upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %d", i))
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DurationBuckets is the default latency layout (seconds): 10µs to 1s in
+// roughly 1-2.5-5 steps, sized for the sqldb INSERT path.
+var DurationBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1,
+}
+
+// CounterVec is a family of counters distinguished by one label. With
+// resolves (creating on first use) the child for a label value; hot paths
+// resolve once and cache the child, so the map lookup and its lock stay
+// off the experiment loop.
+type CounterVec struct {
+	name, help, label string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the counter for the given label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// snapshot returns the label values (sorted) and their counts.
+func (v *CounterVec) snapshot() ([]string, []uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	labels := make([]string, 0, len(v.children))
+	for l := range v.children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	vals := make([]uint64, len(labels))
+	for i, l := range labels {
+		vals[i] = v.children[l].Value()
+	}
+	return labels, vals
+}
+
+// metric is one registered family, of any type.
+type metric struct {
+	name, help string
+	kind       string // "counter", "gauge", "histogram"
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+	vec        *CounterVec
+}
+
+// Registry holds registered metrics and renders them. Registration
+// happens at package init time; reads and writes afterwards are
+// concurrent-safe because the metric values themselves are atomic.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// Default is the process-wide registry that the instrumented GOOFI
+// packages register into and the /metrics endpoint serves.
+var Default = NewRegistry()
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers a counter in the registry.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: "counter", counter: c})
+	return c
+}
+
+// NewGauge registers a gauge in the registry.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: "gauge", gauge: g})
+	return g
+}
+
+// NewHistogram registers a fixed-bucket histogram in the registry.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(&metric{name: name, help: help, kind: "histogram", hist: h})
+	return h
+}
+
+// NewCounterVec registers a single-label counter family in the registry.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label, children: make(map[string]*Counter)}
+	r.register(&metric{name: name, help: help, kind: "counter", vec: v})
+	return v
+}
+
+// NewCounter registers a counter in the Default registry.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// NewHistogram registers a histogram in the Default registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return Default.NewHistogram(name, help, bounds)
+}
+
+// NewCounterVec registers a counter family in the Default registry.
+func NewCounterVec(name, help, label string) *CounterVec {
+	return Default.NewCounterVec(name, help, label)
+}
+
+// Snapshot returns a point-in-time view of every scalar metric value,
+// keyed by exposition name (families use name{label="value"}). Histogram
+// entries expose _count and _sum. Each value is read atomically; the
+// snapshot as a whole is not a global atomic cut, which is the standard
+// Prometheus trade-off.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make(map[string]float64)
+	for _, m := range metrics {
+		switch {
+		case m.counter != nil:
+			out[m.name] = float64(m.counter.Value())
+		case m.gauge != nil:
+			out[m.name] = float64(m.gauge.Value())
+		case m.hist != nil:
+			out[m.name+"_count"] = float64(m.hist.Count())
+			out[m.name+"_sum"] = m.hist.Sum()
+		case m.vec != nil:
+			labels, vals := m.vec.snapshot()
+			for i, l := range labels {
+				out[fmt.Sprintf("%s{%s=%q}", m.name, m.vec.label, l)] = float64(vals[i])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import "sync"
+
+// SpanRecord is one completed campaign phase interval: a named phase
+// (plan, reference, experiment, analyze, ...), the board it ran on (-1
+// when not board-bound), the experiment sequence number (-1 for
+// campaign-level phases), the emulated-cycle window it covered, and its
+// wall-clock cost. Spans are the bridge between live metrics and the
+// paper's everything-in-the-database design: the runner drains them into
+// the CampaignTelemetry table after the campaign finishes.
+type SpanRecord struct {
+	Phase      string
+	Board      int
+	Seq        int
+	StartCycle uint64
+	EndCycle   uint64
+	WallNS     int64
+}
+
+// Tracer collects SpanRecords. Record is called off the per-cycle hot
+// path — once per experiment and once per campaign phase — so a mutex
+// and an append are cheap enough. A nil *Tracer is a valid no-op, which
+// is how the telemetry-off configuration avoids all span work.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Record appends one completed span. Safe on a nil receiver.
+func (t *Tracer) Record(s SpanRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Drain returns all recorded spans and resets the tracer. Safe on a nil
+// receiver (returns nil).
+func (t *Tracer) Drain() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.spans
+	t.spans = nil
+	return out
+}
+
+// Len reports how many spans are buffered. Safe on a nil receiver.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}

@@ -1,0 +1,109 @@
+// Differential regression test for the observability layer: telemetry
+// is read-only by construction (atomic counters, a span tracer fed
+// wall-clock times, a progress tracker) and must never perturb the
+// experiment stream. The proof is behavioral, not structural — the same
+// campaign runs bare and fully observed (tracer + progress + a live
+// /metrics server being scraped concurrently) and the logged
+// LoggedSystemState records must be byte-identical, the analysis
+// reports equal. Any telemetry code path that touches experiment RNG,
+// scan-chain bytes, or record contents fails this test.
+package goofi_test
+
+import (
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"goofi/internal/core"
+	"goofi/internal/telemetry"
+)
+
+// TestTelemetryDifferential: bare vs fully observed single-board run.
+func TestTelemetryDifferential(t *testing.T) {
+	const n = 12
+	bareSum, bareRep, bareRows := chaosRun(t, sortCampaign("telemetry-diff", n, 77, []string{"cpu"}), 1, healthyFactory)
+
+	tr := telemetry.NewTracer()
+	prog := telemetry.NewProgress(1)
+	srv, err := telemetry.NewServer("127.0.0.1:0", telemetry.Default, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/progress"} {
+				resp, err := http.Get("http://" + srv.Addr() + path)
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	obsSum, obsRep, obsRows := chaosRun(t, sortCampaign("telemetry-diff", n, 77, []string{"cpu"}), 1,
+		healthyFactory, core.WithTelemetry(tr, prog))
+	close(stop)
+	<-scraped
+
+	if obsSum.Experiments != bareSum.Experiments || obsSum.Injected != bareSum.Injected {
+		t.Errorf("summaries diverge: bare %d/%d, observed %d/%d",
+			bareSum.Experiments, bareSum.Injected, obsSum.Experiments, obsSum.Injected)
+	}
+	if !reflect.DeepEqual(bareRep, obsRep) {
+		t.Errorf("analysis reports diverge:\nbare:     %+v\nobserved: %+v", bareRep, obsRep)
+	}
+	if len(bareRows) != len(obsRows) {
+		t.Fatalf("record counts diverge: bare %d, observed %d", len(bareRows), len(obsRows))
+	}
+	for i := range bareRows {
+		if bareRows[i] != obsRows[i] {
+			t.Fatalf("LoggedSystemState record %d diverges:\nbare:     %s\nobserved: %s",
+				i, bareRows[i], obsRows[i])
+		}
+	}
+
+	// The observed run must actually have observed something: one span
+	// per experiment plus the plan and reference phases.
+	if got := tr.Len(); got != n+2 {
+		t.Errorf("tracer recorded %d spans, want %d (plan + reference + %d experiments)", got, n+2, n)
+	}
+	snap := prog.Snapshot()
+	if snap.Done != n || snap.Total != n {
+		t.Errorf("progress = %d/%d, want %d/%d", snap.Done, snap.Total, n, n)
+	}
+}
+
+// TestTelemetryDifferentialParallelBoards: the same invariant with
+// board-level concurrency exercising the per-board counters and the
+// progress tracker's board slots.
+func TestTelemetryDifferentialParallelBoards(t *testing.T) {
+	const n, boards = 10, 3
+	_, bareRep, bareRows := chaosRun(t, sortCampaign("telemetry-diff-mb", n, 91, []string{"cpu", "icache"}), boards, healthyFactory)
+
+	tr := telemetry.NewTracer()
+	prog := telemetry.NewProgress(boards)
+	_, obsRep, obsRows := chaosRun(t, sortCampaign("telemetry-diff-mb", n, 91, []string{"cpu", "icache"}), boards,
+		healthyFactory, core.WithTelemetry(tr, prog))
+
+	if !reflect.DeepEqual(bareRep, obsRep) {
+		t.Errorf("analysis reports diverge with %d boards", boards)
+	}
+	if !reflect.DeepEqual(bareRows, obsRows) {
+		t.Errorf("LoggedSystemState records diverge with %d boards", boards)
+	}
+	if got := tr.Len(); got != n+2 {
+		t.Errorf("tracer recorded %d spans, want %d", got, n+2)
+	}
+}
