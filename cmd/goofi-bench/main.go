@@ -7,6 +7,7 @@
 //	go run ./cmd/goofi-bench -o BENCH_PR3.json
 //	go run ./cmd/goofi-bench -mode robustness -o BENCH_PR4.json
 //	go run ./cmd/goofi-bench -mode telemetry -o BENCH_PR5.json
+//	go run ./cmd/goofi-bench -mode service -o BENCH_PR6.json
 //
 // The forwarding mode compares checkpoint fast-forwarding on vs off; the
 // robustness mode compares a healthy campaign with the fault-tolerance
@@ -15,7 +16,11 @@
 // ever fails, and must stay within a few percent of 1. The telemetry
 // mode compares a fully observed campaign (span tracer, progress
 // tracker, live /metrics server scraped once a second) against the bare
-// scheduler; its overhead_ratio bounds the instrumentation cost.
+// scheduler; its overhead_ratio bounds the instrumentation cost. The
+// service mode runs four tenant campaigns concurrently through a live
+// goofid daemon (shared four-board fleet, HTTP submissions) against the
+// same four campaigns run back to back the CLI way, and also reports
+// the per-submit API latency.
 package main
 
 import (
@@ -67,7 +72,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per configuration")
 	boards := flag.Int("boards", 1, "simulated boards")
 	seed := flag.Int64("seed", 1, "campaign seed")
-	mode := flag.String("mode", "forwarding", "comparison: forwarding, robustness, or telemetry")
+	mode := flag.String("mode", "forwarding", "comparison: forwarding, robustness, telemetry, or service")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 	var err error
@@ -78,6 +83,8 @@ func main() {
 		err = runRobustness(*n, *reps, *boards, *seed, *out)
 	case "telemetry":
 		err = runTelemetry(*n, *reps, *boards, *seed, *out)
+	case "service":
+		err = runService(*n, *reps, *boards, *seed, *out)
 	default:
 		err = fmt.Errorf("unknown -mode %q", *mode)
 	}

@@ -1,0 +1,195 @@
+package main
+
+// The service mode: four tenant campaigns through a live goofid daemon
+// at once versus the same four campaigns run back to back the CLI way.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"goofi/internal/server"
+)
+
+const serviceCampaigns = 4
+
+// serviceResult is the -mode service blob. The daemon side runs all
+// four campaigns concurrently on a shared four-board fleet; the
+// sequential side runs them one after another, each on one board — the
+// same total work on the same definitions. concurrency_speedup is
+// median sequential wall time over median service wall time, and the
+// submit latencies measure the API's admission cost alone. Emulation is
+// CPU-bound, so the speedup is capped by the host's core count (cpus in
+// the blob): on one core the concurrent batch can only tie the
+// sequential one minus coordination overhead.
+type serviceResult struct {
+	Benchmark         string    `json:"benchmark"`
+	Date              string    `json:"date"`
+	CPUs              int       `json:"cpus"`
+	Experiments       int       `json:"experiments"`
+	Campaigns         int       `json:"campaigns"`
+	FleetBoards       int       `json:"fleet_boards"`
+	BoardsPerCampaign int       `json:"boards_per_campaign"`
+	Reps              int       `json:"reps"`
+	ServiceWallMS     []float64 `json:"service_wall_ms"`
+	SequentialWallMS  []float64 `json:"sequential_wall_ms"`
+	SubmitLatencyMS   []float64 `json:"submit_latency_ms"`
+	ConcurrencySpeed  float64   `json:"concurrency_speedup"`
+	MedianSubmitMS    float64   `json:"median_submit_ms"`
+}
+
+// serviceRep runs one repetition through a fresh daemon and returns the
+// batch wall time plus the four submit latencies.
+func serviceRep(n, boards int, seed int64) (float64, []float64, error) {
+	dir, err := os.MkdirTemp("", "goofi-bench-service")
+	if err != nil {
+		return 0, nil, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Config{
+		DataDir:       dir,
+		Boards:        serviceCampaigns * boards,
+		MaxConcurrent: serviceCampaigns,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	start := time.Now()
+	var lat []float64
+	for i := 0; i < serviceCampaigns; i++ {
+		req := server.SubmitRequest{
+			Tenant:   fmt.Sprintf("tenant%d", i),
+			Campaign: pidCampaign("bench-service", n, seed),
+			Boards:   boards,
+		}
+		blob, err := json.Marshal(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		t0 := time.Now()
+		resp, err := http.Post(base+"/api/v1/campaigns", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return 0, nil, err
+		}
+		lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return 0, nil, fmt.Errorf("submit %d: %s", i, resp.Status)
+		}
+	}
+	for i := 0; i < serviceCampaigns; i++ {
+		url := fmt.Sprintf("%s/api/v1/campaigns/tenant%d/bench-service", base, i)
+		for {
+			resp, err := http.Get(url)
+			if err != nil {
+				return 0, nil, err
+			}
+			var st server.JobStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return 0, nil, err
+			}
+			if st.State == server.StateDone {
+				break
+			}
+			if st.State == server.StateFailed || st.State == server.StateCancelled {
+				return 0, nil, fmt.Errorf("campaign tenant%d ended %s: %s", i, st.State, st.Error)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, lat, nil
+}
+
+// sequentialRep runs the same four campaigns back to back on one board
+// each, the way four `goofi run` invocations would.
+func sequentialRep(n, boards int, seed int64) (float64, error) {
+	start := time.Now()
+	for i := 0; i < serviceCampaigns; i++ {
+		if _, err := runOnce(pidCampaign("bench-service", n, seed), boards, true); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+func medianF(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	return sorted[len(sorted)/2]
+}
+
+func runService(n, reps, boards int, seed int64, out string) error {
+	res := serviceResult{
+		Benchmark:         "BenchmarkCampaignPID/service",
+		Date:              time.Now().UTC().Format("2006-01-02"),
+		CPUs:              runtime.NumCPU(),
+		Experiments:       n,
+		Campaigns:         serviceCampaigns,
+		FleetBoards:       serviceCampaigns * boards,
+		BoardsPerCampaign: boards,
+		Reps:              reps,
+	}
+	// Untimed warmup of both paths.
+	if _, _, err := serviceRep(n, boards, seed); err != nil {
+		return err
+	}
+	if _, err := sequentialRep(n, boards, seed); err != nil {
+		return err
+	}
+	for rep := 0; rep < reps; rep++ {
+		wall, lat, err := serviceRep(n, boards, seed)
+		if err != nil {
+			return err
+		}
+		res.ServiceWallMS = append(res.ServiceWallMS, wall)
+		res.SubmitLatencyMS = append(res.SubmitLatencyMS, lat...)
+		seq, err := sequentialRep(n, boards, seed)
+		if err != nil {
+			return err
+		}
+		res.SequentialWallMS = append(res.SequentialWallMS, seq)
+	}
+	res.ConcurrencySpeed = medianF(res.SequentialWallMS) / medianF(res.ServiceWallMS)
+	res.MedianSubmitMS = medianF(res.SubmitLatencyMS)
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	fmt.Printf("service: %.1fms for %d campaigns; sequential: %.1fms; speedup %.2fx on %d cpu(s); submit %.2fms (%s)\n",
+		medianF(res.ServiceWallMS), serviceCampaigns, medianF(res.SequentialWallMS),
+		res.ConcurrencySpeed, res.CPUs, res.MedianSubmitMS, out)
+	return os.WriteFile(out, blob, 0o644)
+}

@@ -1,0 +1,212 @@
+package main
+
+// The goofid client subcommands: submit, status, results, cancel. They
+// speak the daemon's JSON API and share the campaign-definition flag
+// group with `goofi setup`, so a definition that runs locally submits
+// unchanged.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"goofi/internal/server"
+)
+
+// apiBase normalizes -server into a URL prefix: a bare host:port gets
+// http://.
+func apiBase(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	return "http://" + addr
+}
+
+// apiCall performs one request and decodes the JSON response into out
+// (unless out is nil). Error payloads become errors.
+func apiCall(method, url string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, apiErr.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(blob)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(blob, out)
+}
+
+func statusLine(st *server.JobStatus) string {
+	line := fmt.Sprintf("%s/%s: %s", st.Tenant, st.Campaign, st.State)
+	if st.Progress != nil {
+		line += fmt.Sprintf(" (%d/%d, phase %s)", st.Progress.Done, st.Progress.Total, st.Progress.Phase)
+	}
+	if st.Error != "" {
+		line += " — " + st.Error
+	}
+	return line
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	srvAddr := fs.String("server", "127.0.0.1:7077", "goofid address")
+	tenant := fs.String("tenant", "default", "tenant namespace")
+	kind := fs.String("kind", "", "target kind: scifi, swifi, pinlevel (default from technique)")
+	imageBytes := fs.Int("image-bytes", 4096, "workload image size (swifi targets)")
+	technique := fs.String("technique", "scifi", "injection technique: scifi, swifi-preruntime, swifi-runtime, pin-level")
+	boards := fs.Int("boards", 1, "boards this campaign may lease from the shared fleet")
+	ckpt := fs.Int("checkpoint", 0, "durable-cursor interval in experiments (0 = daemon default, -1 disables)")
+	noFwd := fs.Bool("no-forward", false, "disable checkpoint fast-forwarding")
+	maxRetries := fs.Int("max-retries", 0, "re-attempts per failed experiment")
+	failThreshold := fs.Int("board-failure-threshold", 0, "consecutive harness failures before a board is quarantined")
+	wait := fs.Bool("wait", false, "poll until the campaign finishes")
+	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval with -wait")
+	cf := newCampaignFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	camp, err := cf.campaign()
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	req := server.SubmitRequest{
+		Tenant:                *tenant,
+		Campaign:              camp,
+		TargetKind:            *kind,
+		ImageBytes:            *imageBytes,
+		Technique:             *technique,
+		Boards:                *boards,
+		Checkpoint:            *ckpt,
+		NoForward:             *noFwd,
+		MaxRetries:            *maxRetries,
+		BoardFailureThreshold: *failThreshold,
+	}
+	base := apiBase(*srvAddr)
+	var st server.JobStatus
+	if err := apiCall("POST", base+"/api/v1/campaigns", req, &st); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Println("submitted", statusLine(&st))
+	if !*wait {
+		return nil
+	}
+	url := fmt.Sprintf("%s/api/v1/campaigns/%s/%s", base, *tenant, camp.Name)
+	for {
+		time.Sleep(*poll)
+		if err := apiCall("GET", url, nil, &st); err != nil {
+			return fmt.Errorf("submit: poll: %w", err)
+		}
+		switch st.State {
+		case server.StateDone, server.StateCancelled:
+			fmt.Println(statusLine(&st))
+			return nil
+		case server.StateFailed:
+			return fmt.Errorf("submit: campaign failed: %s", st.Error)
+		}
+	}
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	srvAddr := fs.String("server", "127.0.0.1:7077", "goofid address")
+	tenant := fs.String("tenant", "default", "tenant namespace")
+	name := fs.String("campaign", "", "campaign name (empty = list all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := apiBase(*srvAddr)
+	if *name == "" {
+		var all []server.JobStatus
+		if err := apiCall("GET", base+"/api/v1/campaigns", nil, &all); err != nil {
+			return fmt.Errorf("status: %w", err)
+		}
+		if len(all) == 0 {
+			fmt.Println("no campaigns")
+			return nil
+		}
+		for i := range all {
+			fmt.Println(statusLine(&all[i]))
+		}
+		return nil
+	}
+	var st server.JobStatus
+	url := fmt.Sprintf("%s/api/v1/campaigns/%s/%s", base, *tenant, *name)
+	if err := apiCall("GET", url, nil, &st); err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	fmt.Println(statusLine(&st))
+	return nil
+}
+
+func cmdResults(args []string) error {
+	fs := flag.NewFlagSet("results", flag.ContinueOnError)
+	srvAddr := fs.String("server", "127.0.0.1:7077", "goofid address")
+	tenant := fs.String("tenant", "default", "tenant namespace")
+	name := fs.String("campaign", "", "campaign name (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("results: -campaign is required")
+	}
+	var res server.ResultsResponse
+	url := fmt.Sprintf("%s/api/v1/campaigns/%s/%s/results", apiBase(*srvAddr), *tenant, *name)
+	if err := apiCall("GET", url, nil, &res); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	fmt.Print(res.Report)
+	return nil
+}
+
+func cmdCancel(args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ContinueOnError)
+	srvAddr := fs.String("server", "127.0.0.1:7077", "goofid address")
+	tenant := fs.String("tenant", "default", "tenant namespace")
+	name := fs.String("campaign", "", "campaign name (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("cancel: -campaign is required")
+	}
+	var st server.JobStatus
+	url := fmt.Sprintf("%s/api/v1/campaigns/%s/%s/cancel", apiBase(*srvAddr), *tenant, *name)
+	if err := apiCall("POST", url, nil, &st); err != nil {
+		return fmt.Errorf("cancel: %w", err)
+	}
+	fmt.Println(statusLine(&st))
+	return nil
+}

@@ -67,6 +67,12 @@ commands:
   list       list stored targets and campaigns
   schema     print the GOOFI database schema (Fig 4)
   workloads  list built-in workloads
+
+daemon client (talks to a running goofid):
+  submit     submit a campaign to a goofid daemon
+  status     show a submitted campaign's state and progress
+  results    fetch a submitted campaign's dependability report
+  cancel     cancel a submitted campaign
 `
 }
 
@@ -95,6 +101,14 @@ func run(args []string) error {
 		return cmdSchema(rest)
 	case "workloads":
 		return cmdWorkloads(rest)
+	case "submit":
+		return cmdSubmit(rest)
+	case "status":
+		return cmdStatus(rest)
+	case "results":
+		return cmdResults(rest)
+	case "cancel":
+		return cmdCancel(rest)
 	case "help", "-h", "--help":
 		fmt.Print(usage())
 		return nil
@@ -161,77 +175,112 @@ func cmdConfigure(args []string) error {
 	return nil
 }
 
-func cmdSetup(args []string) error {
-	fs := flag.NewFlagSet("setup", flag.ContinueOnError)
-	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
-	name := fs.String("campaign", "", "campaign name (required)")
-	target := fs.String("target", "thor-board", "target system name")
-	chain := fs.String("chain", "internal", "scan chain to inject into")
-	locations := fs.String("locations", "cpu", "comma-separated location names/prefixes")
-	observe := fs.String("observe", "", "comma-separated observed locations (default: all writable)")
-	model := fs.String("model", "transient", "fault model: transient, stuck-at-0, stuck-at-1, intermittent")
-	mult := fs.Int("multiplicity", 1, "bits per fault")
-	activeProb := fs.Float64("active-prob", 0.5, "intermittent activation probability")
-	trigKind := fs.String("trigger", "cycle", "trigger kind: cycle, instret, breakpoint, data-access, branch, call, task-switch, rtc")
-	trigCycle := fs.Uint64("trigger-cycle", 0, "cycle for cycle triggers")
-	trigAddr := fs.Uint64("trigger-addr", 0, "address for breakpoint/data-access triggers")
-	trigOcc := fs.Int("trigger-occurrence", 1, "occurrence count")
-	window := fs.String("window", "", "random injection window lo:hi (cycles)")
-	experiments := fs.Int("experiments", 100, "number of fault injection experiments")
-	seed := fs.Int64("seed", 1, "campaign seed")
-	timeout := fs.Uint64("timeout", 300000, "termination time-out in cycles")
-	maxIter := fs.Int("max-iterations", 0, "iteration limit for loop workloads (0 = run to HALT)")
-	wl := fs.String("workload", "sort16", "built-in workload name")
-	envName := fs.String("envsim", "", "environment simulator (empty = none)")
-	logMode := fs.String("log", "normal", "log mode: normal or detail")
-	if err := fs.Parse(args); err != nil {
-		return err
+// campaignFlags groups the campaign-definition flags shared by `goofi
+// setup` (writes the local database) and `goofi submit` (ships the
+// definition to a goofid daemon). One flag set, one Campaign builder —
+// the two paths cannot drift apart.
+type campaignFlags struct {
+	name, target, chain, locations, observe *string
+	model                                   *string
+	mult                                    *int
+	activeProb                              *float64
+	trigKind                                *string
+	trigCycle, trigAddr                     *uint64
+	trigOcc                                 *int
+	window                                  *string
+	experiments                             *int
+	seed                                    *int64
+	timeout                                 *uint64
+	maxIter                                 *int
+	wl, envName, logMode                    *string
+}
+
+func newCampaignFlags(fs *flag.FlagSet) *campaignFlags {
+	return &campaignFlags{
+		name:        fs.String("campaign", "", "campaign name (required)"),
+		target:      fs.String("target", "thor-board", "target system name"),
+		chain:       fs.String("chain", "internal", "scan chain to inject into"),
+		locations:   fs.String("locations", "cpu", "comma-separated location names/prefixes"),
+		observe:     fs.String("observe", "", "comma-separated observed locations (default: all writable)"),
+		model:       fs.String("model", "transient", "fault model: transient, stuck-at-0, stuck-at-1, intermittent"),
+		mult:        fs.Int("multiplicity", 1, "bits per fault"),
+		activeProb:  fs.Float64("active-prob", 0.5, "intermittent activation probability"),
+		trigKind:    fs.String("trigger", "cycle", "trigger kind: cycle, instret, breakpoint, data-access, branch, call, task-switch, rtc"),
+		trigCycle:   fs.Uint64("trigger-cycle", 0, "cycle for cycle triggers"),
+		trigAddr:    fs.Uint64("trigger-addr", 0, "address for breakpoint/data-access triggers"),
+		trigOcc:     fs.Int("trigger-occurrence", 1, "occurrence count"),
+		window:      fs.String("window", "", "random injection window lo:hi (cycles)"),
+		experiments: fs.Int("experiments", 100, "number of fault injection experiments"),
+		seed:        fs.Int64("seed", 1, "campaign seed"),
+		timeout:     fs.Uint64("timeout", 300000, "termination time-out in cycles"),
+		maxIter:     fs.Int("max-iterations", 0, "iteration limit for loop workloads (0 = run to HALT)"),
+		wl:          fs.String("workload", "sort16", "built-in workload name"),
+		envName:     fs.String("envsim", "", "environment simulator (empty = none)"),
+		logMode:     fs.String("log", "normal", "log mode: normal or detail"),
 	}
-	if *name == "" {
-		return fmt.Errorf("setup: -campaign is required")
+}
+
+// campaign builds the Campaign the parsed flags describe.
+func (cf *campaignFlags) campaign() (*campaign.Campaign, error) {
+	if *cf.name == "" {
+		return nil, fmt.Errorf("-campaign is required")
 	}
-	spec, ok := workload.All()[*wl]
+	spec, ok := workload.All()[*cf.wl]
 	if !ok {
-		return fmt.Errorf("setup: unknown workload %q (see 'goofi workloads')", *wl)
+		return nil, fmt.Errorf("unknown workload %q (see 'goofi workloads')", *cf.wl)
 	}
 	camp := &campaign.Campaign{
-		Name:       *name,
-		TargetName: *target,
-		ChainName:  *chain,
-		Locations:  splitList(*locations),
-		Observe:    splitList(*observe),
+		Name:       *cf.name,
+		TargetName: *cf.target,
+		ChainName:  *cf.chain,
+		Locations:  splitList(*cf.locations),
+		Observe:    splitList(*cf.observe),
 		FaultModel: faultmodel.Spec{
-			Kind:         faultmodel.Kind(*model),
-			Multiplicity: *mult,
-			ActiveProb:   *activeProb,
+			Kind:         faultmodel.Kind(*cf.model),
+			Multiplicity: *cf.mult,
+			ActiveProb:   *cf.activeProb,
 		},
 		Trigger: trigger.Spec{
-			Kind:       *trigKind,
-			Cycle:      *trigCycle,
-			Addr:       uint32(*trigAddr),
-			Occurrence: *trigOcc,
+			Kind:       *cf.trigKind,
+			Cycle:      *cf.trigCycle,
+			Addr:       uint32(*cf.trigAddr),
+			Occurrence: *cf.trigOcc,
 		},
-		NumExperiments: *experiments,
-		Seed:           *seed,
+		NumExperiments: *cf.experiments,
+		Seed:           *cf.seed,
 		Termination: campaign.Termination{
-			TimeoutCycles: *timeout,
-			MaxIterations: *maxIter,
+			TimeoutCycles: *cf.timeout,
+			MaxIterations: *cf.maxIter,
 		},
 		Workload: spec,
-		LogMode:  campaign.LogMode(*logMode),
+		LogMode:  campaign.LogMode(*cf.logMode),
 	}
 	if camp.FaultModel.Kind != faultmodel.Intermittent {
 		camp.FaultModel.ActiveProb = 0
 	}
-	if *window != "" {
-		lo, hi, err := parseWindow(*window)
+	if *cf.window != "" {
+		lo, hi, err := parseWindow(*cf.window)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		camp.RandomWindow = [2]uint64{lo, hi}
 	}
-	if *envName != "" {
-		camp.EnvSim = &campaign.EnvSimSpec{Name: *envName}
+	if *cf.envName != "" {
+		camp.EnvSim = &campaign.EnvSimSpec{Name: *cf.envName}
+	}
+	return camp, nil
+}
+
+func cmdSetup(args []string) error {
+	fs := flag.NewFlagSet("setup", flag.ContinueOnError)
+	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
+	cf := newCampaignFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	camp, err := cf.campaign()
+	if err != nil {
+		return fmt.Errorf("setup: %w", err)
 	}
 	st, db, err := openStore(*dbPath)
 	if err != nil {
@@ -431,7 +480,11 @@ func (tf *telemetryFlags) start(boards int) (tr *telemetry.Tracer, prog *telemet
 			close(done)
 			reporter.Wait()
 			if srv != nil {
-				_ = srv.Close()
+				// Graceful: let an in-flight /metrics scrape finish
+				// instead of cutting its connection mid-response.
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				_ = srv.Shutdown(ctx)
 			}
 		})
 	}

@@ -1,0 +1,77 @@
+// Command goofid is the GOOFI campaign daemon: it serves the
+// multi-tenant campaign-lifecycle API (submit, status, pause, resume,
+// cancel, results) and the telemetry endpoints (/metrics, /progress,
+// /healthz, /debug/pprof) from a single listener, running submitted
+// campaigns concurrently on a shared board fleet. On SIGINT/SIGTERM it
+// stops campaigns at their next durable cursor and checkpoints every
+// tenant database; interrupted campaigns resume on the next boot.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"goofi/internal/server"
+)
+
+func main() {
+	var (
+		data          = flag.String("data", "goofid-data", "data directory (one database per tenant)")
+		addr          = flag.String("addr", "127.0.0.1:7077", "HTTP listen address")
+		boards        = flag.Int("boards", 4, "shared fleet size (boards leased across campaigns)")
+		maxConcurrent = flag.Int("max-concurrent", 2, "campaigns running at once")
+		queue         = flag.Int("queue", 8, "accepted-but-not-running campaign cap (429 beyond it)")
+		compactEvery  = flag.Duration("compact-interval", time.Minute, "idle tenant database compaction sweep (0 disables)")
+		drain         = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before campaigns are cut off")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		DataDir:         *data,
+		Boards:          *boards,
+		MaxConcurrent:   *maxConcurrent,
+		QueueDepth:      *queue,
+		CompactInterval: *compactEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goofid:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goofid:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("goofid: serve: %v", err)
+		}
+	}()
+	log.Printf("goofid: listening on %s (fleet=%d, max-concurrent=%d, data=%s)",
+		ln.Addr(), *boards, *maxConcurrent, *data)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	log.Printf("goofid: shutting down (drain %s)", *drain)
+
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	_ = httpSrv.Shutdown(shCtx)
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("goofid: shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Print("goofid: bye")
+}

@@ -1,0 +1,189 @@
+package campaign
+
+// Tenant namespaces: the daemon serves many users from one data
+// directory by giving each tenant its own WAL-backed database file,
+// lazily opened on first use, reference-counted while campaigns run
+// against it, and compacted back into its snapshot when it falls idle.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"goofi/internal/sqldb"
+)
+
+// TenantDBs manages one *sqldb.DB per tenant under a data directory.
+// All methods are safe for concurrent use.
+type TenantDBs struct {
+	dir    string
+	policy sqldb.SyncPolicy
+
+	mu      sync.Mutex
+	open    map[string]*tenantHandle
+	closed  bool
+	nowFunc func() time.Time // test hook
+}
+
+type tenantHandle struct {
+	store   *Store
+	db      *sqldb.DB
+	refs    int
+	lastUse time.Time
+}
+
+// NewTenantDBs builds a manager rooted at dir (created if missing).
+func NewTenantDBs(dir string, policy sqldb.SyncPolicy) (*TenantDBs, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: tenant dir: %w", err)
+	}
+	return &TenantDBs{dir: dir, policy: policy, open: make(map[string]*tenantHandle),
+		nowFunc: time.Now}, nil
+}
+
+// ValidTenant reports whether name is usable as a tenant namespace: a
+// non-empty name made of letters, digits, dots, underscores and dashes,
+// not starting with a dot or dash. The character set keeps tenant names
+// inside a single path element, so a hostile name cannot escape the
+// data directory.
+func ValidTenant(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '_':
+		case (c == '-' || c == '.') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Path returns the tenant's database file path.
+func (t *TenantDBs) Path(tenant string) string {
+	return filepath.Join(t.dir, tenant+".db")
+}
+
+// Acquire opens (or reuses) the tenant's database and pins it open. The
+// returned release must be called when the caller is done; the handle
+// stays cached for reuse until idle compaction closes it.
+func (t *TenantDBs) Acquire(tenant string) (*Store, *sqldb.DB, func(), error) {
+	if !ValidTenant(tenant) {
+		return nil, nil, nil, fmt.Errorf("campaign: invalid tenant name %q", tenant)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, nil, nil, fmt.Errorf("campaign: tenant manager closed")
+	}
+	h := t.open[tenant]
+	if h == nil {
+		db, err := sqldb.OpenAt(t.Path(tenant), t.policy)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		st, err := NewStore(db)
+		if err != nil {
+			db.Close()
+			return nil, nil, nil, err
+		}
+		h = &tenantHandle{store: st, db: db}
+		t.open[tenant] = h
+	}
+	h.refs++
+	h.lastUse = t.nowFunc()
+	release := func() {
+		t.mu.Lock()
+		h.refs--
+		h.lastUse = t.nowFunc()
+		t.mu.Unlock()
+	}
+	return h.store, h.db, release, nil
+}
+
+// Tenants lists every tenant with a database file on disk, open or not.
+func (t *TenantDBs) Tenants() ([]string, error) {
+	ents, err := os.ReadDir(t.dir)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: list tenants: %w", err)
+	}
+	// A tenant that has never been checkpointed exists only as its WAL
+	// (the snapshot file appears on first compaction), so both spellings
+	// count.
+	seen := make(map[string]bool)
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		name, ok := strings.CutSuffix(strings.TrimSuffix(e.Name(), ".wal"), ".db")
+		if ok && ValidTenant(name) {
+			seen[name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// CompactIdle checkpoints and closes every unpinned tenant database that
+// has been idle for at least maxIdle. Clean databases (nothing in the
+// WAL) are closed without the checkpoint. It returns how many databases
+// were closed.
+func (t *TenantDBs) CompactIdle(maxIdle time.Duration) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var firstErr error
+	closed := 0
+	now := t.nowFunc()
+	for name, h := range t.open {
+		if h.refs > 0 || now.Sub(h.lastUse) < maxIdle {
+			continue
+		}
+		if h.db.Dirty() {
+			if err := h.db.Checkpoint(); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue // keep a db we failed to compact open
+			}
+		}
+		if err := h.db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(t.open, name)
+		closed++
+	}
+	return closed, firstErr
+}
+
+// Close checkpoints and closes every open tenant database. Callers must
+// have released all pins (outstanding refs are closed anyway, with the
+// same durability guarantees a crash would have — the WAL replays).
+func (t *TenantDBs) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var firstErr error
+	for name, h := range t.open {
+		if h.db.Dirty() {
+			if err := h.db.Checkpoint(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := h.db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(t.open, name)
+	}
+	t.closed = true
+	return firstErr
+}

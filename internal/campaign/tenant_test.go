@@ -1,0 +1,128 @@
+package campaign
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"goofi/internal/sqldb"
+)
+
+// putTestCampaign seeds st with the shared test target and campaign
+// (campaign_test.go helpers) under the name "camp-1".
+func putTestCampaign(t *testing.T, st *Store) {
+	t.Helper()
+	if err := st.PutTargetSystem(testTarget()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutCampaign(testCampaign()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTenantNamesValidated(t *testing.T) {
+	good := []string{"alice", "team-a", "a.b", "X_1"}
+	bad := []string{"", ".", "..", "../alice", "a/b", "a\\b", "-x", ".hidden", "a b"}
+	for _, n := range good {
+		if !ValidTenant(n) {
+			t.Errorf("ValidTenant(%q) = false, want true", n)
+		}
+	}
+	for _, n := range bad {
+		if ValidTenant(n) {
+			t.Errorf("ValidTenant(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestTenantDBsIsolateAndReuse(t *testing.T) {
+	mgr, err := NewTenantDBs(t.TempDir(), sqldb.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	stA, _, relA, err := mgr.Acquire("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, _, relB, err := mgr.Acquire("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	putTestCampaign(t, stA)
+	// Namespaces are separate databases: bob does not see alice's row.
+	if _, err := stB.GetCampaign("camp-1"); err == nil {
+		t.Fatal("tenant bob sees tenant alice's campaign")
+	}
+	// A second acquire of the same tenant shares the open handle.
+	stA2, _, relA2, err := mgr.Acquire("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA2 != stA {
+		t.Error("second acquire opened a second store for the same tenant")
+	}
+	relA()
+	relA2()
+	relB()
+	names, err := mgr.Tenants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "alice" || names[1] != "bob" {
+		t.Errorf("tenants = %v, want [alice bob]", names)
+	}
+	if _, _, _, err := mgr.Acquire("../evil"); err == nil {
+		t.Fatal("path-escaping tenant name accepted")
+	}
+}
+
+func TestTenantCompactIdle(t *testing.T) {
+	dir := t.TempDir()
+	mgr, err := NewTenantDBs(dir, sqldb.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	now := time.Now()
+	mgr.nowFunc = func() time.Time { return now }
+	st, db, release, err := mgr.Acquire("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	putTestCampaign(t, st)
+	// Pinned: not compacted regardless of idle time.
+	now = now.Add(time.Hour)
+	if n, err := mgr.CompactIdle(time.Minute); err != nil || n != 0 {
+		t.Fatalf("compact pinned = %d, %v; want 0, nil", n, err)
+	}
+	release()
+	// Recently released: still inside the idle window.
+	if n, err := mgr.CompactIdle(time.Minute); err != nil || n != 0 {
+		t.Fatalf("compact fresh = %d, %v; want 0, nil", n, err)
+	}
+	if !db.Dirty() {
+		t.Fatal("db with un-checkpointed writes should be dirty")
+	}
+	now = now.Add(time.Hour)
+	if n, err := mgr.CompactIdle(time.Minute); err != nil || n != 1 {
+		t.Fatalf("compact idle = %d, %v; want 1, nil", n, err)
+	}
+	// The checkpoint folded the WAL into the snapshot: reopening reads
+	// the row straight from the image and the log is reset.
+	db2, err := sqldb.OpenAt(filepath.Join(dir, "alice.db"), sqldb.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Dirty() {
+		t.Error("compacted db reopened dirty")
+	}
+	st2, err := NewStore(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.GetCampaign("camp-1"); err != nil {
+		t.Errorf("campaign lost by compaction: %v", err)
+	}
+}

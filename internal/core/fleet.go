@@ -1,0 +1,266 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"goofi/internal/telemetry"
+)
+
+// ErrNoBoards is returned by FleetHandle.Acquire when every board in the
+// fleet has been quarantined — no lease can ever be granted again.
+var ErrNoBoards = errors.New("core: fleet: all boards quarantined")
+
+// Fleet metrics: fleet-wide board accounting for the daemon's /metrics.
+var (
+	mFleetHealthy = telemetry.NewGauge("goofi_fleet_boards_healthy",
+		"Boards in the shared fleet that are not quarantined.")
+	mFleetLeased = telemetry.NewGauge("goofi_fleet_boards_leased",
+		"Boards currently leased to a running campaign.")
+	mFleetLeases = telemetry.NewCounter("goofi_fleet_leases_total",
+		"Board leases granted since process start.")
+	mFleetWaits = telemetry.NewCounter("goofi_fleet_lease_waits_total",
+		"Acquire calls that had to wait for a board to free up.")
+)
+
+type slotState int8
+
+const (
+	slotFree slotState = iota
+	slotLeased
+	slotQuarantined
+)
+
+// Fleet owns a pool of boards shared by concurrently running campaigns.
+// Each campaign registers a FleetHandle for the duration of its run and
+// acquires per-experiment board leases through it. The grant policy is
+// fair-share: when boards are contended, a free board goes to the
+// waiting campaign holding the fewest leases, and a campaign holding
+// more than its entitlement (ceil(healthy / campaigns)) yields boards
+// back between experiments (FleetHandle.ShouldYield). Quarantine is
+// fleet-wide: a board the circuit breaker removes is gone for every
+// campaign, not just the one that tripped it.
+//
+// A Runner without WithFleet builds a private Fleet over its own board
+// count, which degenerates to the legacy ownership model: no other
+// campaign ever contends, so Acquire never blocks and ShouldYield never
+// fires.
+type Fleet struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	slots   []slotState
+	healthy int
+	handles map[*FleetHandle]struct{}
+}
+
+// NewFleet builds a fleet of capacity boards, all free and healthy.
+func NewFleet(capacity int) (*Fleet, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("core: fleet capacity %d < 1", capacity)
+	}
+	f := &Fleet{
+		slots:   make([]slotState, capacity),
+		healthy: capacity,
+		handles: make(map[*FleetHandle]struct{}),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	mFleetHealthy.Set(int64(capacity))
+	return f, nil
+}
+
+// Capacity is the total board count, quarantined boards included.
+func (f *Fleet) Capacity() int { return len(f.slots) }
+
+// Healthy is the number of boards not quarantined.
+func (f *Fleet) Healthy() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.healthy
+}
+
+// Campaigns is the number of currently registered campaigns.
+func (f *Fleet) Campaigns() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.handles)
+}
+
+// Register enrolls a campaign with the fleet for the duration of its
+// run. The handle must be Closed when the campaign finishes so the
+// fair-share entitlement of the remaining campaigns grows back.
+func (f *Fleet) Register(campaignName string) *FleetHandle {
+	h := &FleetHandle{fleet: f, name: campaignName}
+	f.mu.Lock()
+	f.handles[h] = struct{}{}
+	f.mu.Unlock()
+	// More campaigns shrink everyone's entitlement; wake waiters so
+	// over-entitlement yields take effect promptly.
+	f.cond.Broadcast()
+	return h
+}
+
+// FleetHandle is one campaign's membership in the fleet.
+type FleetHandle struct {
+	fleet   *Fleet
+	name    string
+	held    int // leases currently held (guarded by fleet.mu)
+	waiting int // Acquire calls currently blocked (guarded by fleet.mu)
+	closed  bool
+}
+
+// Close deregisters the campaign. Outstanding leases should be released
+// first; Close does not revoke them.
+func (h *FleetHandle) Close() {
+	f := h.fleet
+	f.mu.Lock()
+	h.closed = true
+	delete(f.handles, h)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// eligibleLocked reports whether this handle may take a free board right
+// now: no other campaign is waiting with strictly fewer held leases.
+// Callers hold fleet.mu.
+func (h *FleetHandle) eligibleLocked() bool {
+	for g := range h.fleet.handles {
+		if g != h && g.waiting > 0 && g.held < h.held {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire leases a board, blocking while the fleet is fully leased by
+// equally- or lesser-held campaigns. It fails with ErrNoBoards once
+// every board is quarantined, and with ctx.Err() on cancellation.
+func (h *FleetHandle) Acquire(ctx context.Context) (*Lease, error) {
+	f := h.fleet
+	// Wake this waiter when the context is cancelled so the Wait below
+	// observes it (same pattern as Runner.checkpoint).
+	stopWatch := context.AfterFunc(ctx, func() {
+		f.mu.Lock()
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	})
+	defer stopWatch()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	waited := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if h.closed {
+			return nil, fmt.Errorf("core: fleet: campaign %q acquired after Close", h.name)
+		}
+		if f.healthy == 0 {
+			return nil, ErrNoBoards
+		}
+		if h.eligibleLocked() {
+			for i, s := range f.slots {
+				if s == slotFree {
+					f.slots[i] = slotLeased
+					h.held++
+					mFleetLeases.Inc()
+					mFleetLeased.Set(f.leasedLocked())
+					return &Lease{fleet: f, handle: h, board: i}, nil
+				}
+			}
+		}
+		if !waited {
+			waited = true
+			mFleetWaits.Inc()
+		}
+		h.waiting++
+		f.cond.Wait()
+		h.waiting--
+	}
+}
+
+// ShouldYield reports whether the campaign holds more than its
+// fair-share entitlement while another campaign is waiting for a board.
+// The entitlement is ceil(healthy / campaigns); checking strictly above
+// it gives hysteresis, so boards do not ping-pong when the pool does not
+// divide evenly (4 boards across 3 campaigns stabilises at 2/1/1).
+func (h *FleetHandle) ShouldYield() bool {
+	f := h.fleet
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	othersWaiting := false
+	for g := range f.handles {
+		if g != h && g.waiting > 0 {
+			othersWaiting = true
+			break
+		}
+	}
+	if !othersWaiting {
+		return false
+	}
+	n := len(f.handles)
+	if n == 0 {
+		return false
+	}
+	entitlement := (f.healthy + n - 1) / n
+	return h.held > entitlement
+}
+
+func (f *Fleet) leasedLocked() int64 {
+	var n int64
+	for _, s := range f.slots {
+		if s == slotLeased {
+			n++
+		}
+	}
+	return n
+}
+
+// Lease is one granted board. Exactly one of Release or Quarantine must
+// be called; both are idempotent after the first.
+type Lease struct {
+	fleet  *Fleet
+	handle *FleetHandle
+	board  int
+	done   bool
+}
+
+// Board is the fleet-wide board index of the leased board.
+func (l *Lease) Board() int { return l.board }
+
+// Release returns the board to the free pool.
+func (l *Lease) Release() {
+	f := l.fleet
+	f.mu.Lock()
+	if l.done {
+		f.mu.Unlock()
+		return
+	}
+	l.done = true
+	f.slots[l.board] = slotFree
+	l.handle.held--
+	mFleetLeased.Set(f.leasedLocked())
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// Quarantine removes the board from the fleet for every campaign: the
+// circuit breaker tripped on it, so no campaign should lease it again.
+func (l *Lease) Quarantine() {
+	f := l.fleet
+	f.mu.Lock()
+	if l.done {
+		f.mu.Unlock()
+		return
+	}
+	l.done = true
+	f.slots[l.board] = slotQuarantined
+	f.healthy--
+	l.handle.held--
+	mFleetHealthy.Set(int64(f.healthy))
+	mFleetLeased.Set(f.leasedLocked())
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFleetLeaseAndRelease(t *testing.T) {
+	f, err := NewFleet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Register("a")
+	defer h.Close()
+	ctx := context.Background()
+	l1, err := h.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := h.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Board() == l2.Board() {
+		t.Fatalf("both leases got board %d", l1.Board())
+	}
+	// The pool is exhausted: a third acquire blocks until a release.
+	got := make(chan int, 1)
+	go func() {
+		l3, err := h.Acquire(ctx)
+		if err != nil {
+			got <- -1
+			return
+		}
+		got <- l3.Board()
+		l3.Release()
+	}()
+	select {
+	case b := <-got:
+		t.Fatalf("third acquire did not block (board %d)", b)
+	case <-time.After(20 * time.Millisecond):
+	}
+	l1.Release()
+	select {
+	case b := <-got:
+		if b != l1.Board() {
+			t.Errorf("reacquired board %d, want released board %d", b, l1.Board())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire still blocked after release")
+	}
+	l2.Release()
+}
+
+func TestFleetQuarantineExhausts(t *testing.T) {
+	f, err := NewFleet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Register("a")
+	defer h.Close()
+	l, err := h.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Quarantine()
+	if got := f.Healthy(); got != 0 {
+		t.Fatalf("healthy = %d after quarantine, want 0", got)
+	}
+	if _, err := h.Acquire(context.Background()); !errors.Is(err, ErrNoBoards) {
+		t.Fatalf("acquire after fleet exhaustion = %v, want ErrNoBoards", err)
+	}
+}
+
+func TestFleetAcquireCancelled(t *testing.T) {
+	f, err := NewFleet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Register("a")
+	defer h.Close()
+	l, err := h.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := h.Acquire(ctx)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled acquire never returned")
+	}
+}
+
+// TestFleetFairShare: a campaign hogging the whole pool must yield once
+// another campaign starts waiting, and a freed board goes to the
+// campaign holding fewer leases.
+func TestFleetFairShare(t *testing.T) {
+	f, err := NewFleet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.Register("a")
+	defer a.Close()
+	b := f.Register("b")
+	defer b.Close()
+	ctx := context.Background()
+	la1, err := a.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la2, err := a.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ShouldYield() {
+		t.Error("should not yield with no waiter")
+	}
+	got := make(chan *Lease, 1)
+	go func() {
+		lb, err := b.Acquire(ctx)
+		if err != nil {
+			t.Error(err)
+			got <- nil
+			return
+		}
+		got <- lb
+	}()
+	// Wait for b to be registered as a waiter.
+	deadline := time.Now().Add(2 * time.Second)
+	for !a.ShouldYield() {
+		if time.Now().After(deadline) {
+			t.Fatal("a never saw the yield signal")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	la1.Release()
+	lb := <-got
+	if lb == nil {
+		t.Fatal("b got no lease")
+	}
+	// Entitlement is now 1 each: neither campaign should yield further.
+	if a.ShouldYield() {
+		t.Error("a should keep its remaining board at 1/1")
+	}
+	// With b holding one and a holding one, a freed board may go to
+	// either; but while b waits with fewer held than a, a is ineligible.
+	lb2c := make(chan *Lease, 1)
+	go func() {
+		l, err := b.Acquire(ctx)
+		if err != nil {
+			t.Error(err)
+			lb2c <- nil
+			return
+		}
+		lb2c <- l
+	}()
+	time.Sleep(10 * time.Millisecond) // let b start waiting
+	la2.Release()
+	lb2 := <-lb2c
+	if lb2 == nil {
+		t.Fatal("b got no second lease")
+	}
+	lb.Release()
+	lb2.Release()
+}

@@ -87,6 +87,11 @@ type Runner struct {
 	// value keeps the legacy abort-on-first-error behaviour.
 	retry RetryPolicy
 
+	// extFleet is a shared board fleet (WithFleet). When nil, Run builds
+	// a private fleet over the runner's own board count, which preserves
+	// the legacy single-campaign ownership model exactly.
+	extFleet *Fleet
+
 	// tracer and progress are the allocating half of the telemetry layer
 	// (WithTelemetry); both are nil-safe and nil by default. The atomic
 	// counters in metrics.go are always on regardless.
@@ -97,6 +102,10 @@ type Runner struct {
 	cond    *sync.Cond
 	paused  bool
 	stopped bool
+	// stopNotify is closed by Stop while Run is dispatching, so workers
+	// blocked in a fleet Acquire (not just in the pause Wait) observe
+	// the stop promptly.
+	stopNotify chan struct{}
 }
 
 // RunnerOption configures a Runner.
@@ -162,6 +171,19 @@ func WithForwarding(cfg ForwardConfig) RunnerOption {
 	return func(r *Runner) { r.fw = cfg }
 }
 
+// WithFleet runs the campaign against a shared board Fleet instead of a
+// private one: board leases are acquired per experiment under the
+// fleet's fair-share policy, so several concurrently running campaigns
+// divide one board pool. The runner's board count (WithBoards) caps
+// this campaign's parallelism; a target factory is required because a
+// worker builds a fresh target each time it is granted a lease.
+// Experiment outcomes are byte-identical to a private-fleet run — the
+// plan is drawn before dispatch and every experiment is re-initialised
+// from its per-sequence seed on whichever board runs it.
+func WithFleet(f *Fleet) RunnerOption {
+	return func(r *Runner) { r.extFleet = f }
+}
+
 // WithInjectionFilter installs a pre-injection filter (paper §4): drawn
 // injections the filter rejects are skipped and redrawn, so every spent
 // experiment targets live state. The number of skips is reported in
@@ -212,6 +234,10 @@ func (r *Runner) Stop() {
 	defer r.mu.Unlock()
 	r.stopped = true
 	r.paused = false
+	if r.stopNotify != nil {
+		close(r.stopNotify)
+		r.stopNotify = nil
+	}
 	r.cond.Broadcast()
 }
 

@@ -124,6 +124,9 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	if r.boards > 1 && r.factory == nil {
 		return nil, fmt.Errorf("core: %d boards need a target factory (WithBoards)", r.boards)
 	}
+	if r.extFleet != nil && r.factory == nil {
+		return nil, fmt.Errorf("core: a shared fleet needs a target factory (WithBoards)")
+	}
 	// Wake a paused campaign when the context is cancelled, so Wait in
 	// checkpoint observes the cancellation.
 	cancelWatch := context.AfterFunc(ctx, func() {
@@ -132,6 +135,38 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 		r.mu.Unlock()
 	})
 	defer cancelWatch()
+
+	// stopCh mirrors Stop into a channel for the duration of this run, so
+	// a worker blocked in a fleet Acquire (possibly waiting on boards held
+	// by other campaigns) is woken by Stop, not only by queue progress.
+	stopCh := make(chan struct{})
+	r.mu.Lock()
+	if r.stopped {
+		close(stopCh)
+	} else {
+		r.stopNotify = stopCh
+	}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.stopNotify = nil
+		r.mu.Unlock()
+	}()
+
+	// Board ownership lives in a Fleet. A shared fleet (WithFleet) is
+	// contended by other campaigns; the private fallback is this
+	// campaign's own boards and reproduces the legacy behaviour (a lease
+	// is always granted immediately and never yielded).
+	fleet := r.extFleet
+	if fleet == nil {
+		var ferr error
+		fleet, ferr = NewFleet(r.boards)
+		if ferr != nil {
+			return nil, ferr
+		}
+	}
+	handle := fleet.Register(r.camp.Name)
+	defer handle.Close()
 
 	r.progress.Start(r.camp.Name, r.camp.NumExperiments)
 	r.progress.SetPhase("plan")
@@ -214,8 +249,15 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
 		r.progress.SetPhase("reference")
 		refStart := time.Now()
+		// The reference occupies a board like any experiment, so on a
+		// shared fleet it queues behind other campaigns' leases.
 		var refErr error
-		fwSet, refErr = r.referenceRun(ctx, sum)
+		if refLease, lerr := handle.Acquire(ctx); lerr != nil {
+			refErr = fmt.Errorf("core: campaign %q reference: %w", r.camp.Name, lerr)
+		} else {
+			fwSet, refErr = r.referenceRun(ctx, sum)
+			refLease.Release()
+		}
 		r.tracer.Record(telemetry.SpanRecord{Phase: "reference", Board: -1, Seq: -1,
 			EndCycle: sum.CyclesEmulated, WallNS: time.Since(refStart).Nanoseconds()})
 		if refErr != nil {
@@ -285,17 +327,53 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 			}, snap
 		}
 
-		worker := func(boardID int) {
-			target := r.boardTarget()
-			installForwardSet(target, fwSet)
-			// Per-board seeded jitter keeps retry timing deterministic in
-			// tests without coupling it to the experiment RNG streams.
-			jitter := rand.New(rand.NewSource(expSeed(r.camp.Seed, -3-boardID)))
-			consecFails := 0
-			// The busy-time child is resolved once per worker so the hot
-			// loop never touches the family's mutex.
-			busyNS := mBoardBusyNS.With(strconv.Itoa(boardID))
-			defer r.progress.BoardIdle(boardID)
+		// Workers blocked in a fleet Acquire are woken by queue progress on
+		// their own campaign only indirectly (another campaign releasing a
+		// board); runCtx cancels them when the queue drains or the user
+		// stops the campaign, so no worker waits for a board it can never
+		// use.
+		runCtx, cancelRun := context.WithCancel(ctx)
+		defer cancelRun()
+		go func() {
+			select {
+			case <-q.drained():
+			case <-stopCh:
+			case <-runCtx.Done():
+			}
+			cancelRun()
+		}()
+
+		// A worker is a goroutine, not a board: it leases a board from the
+		// fleet while it has work and the fair-share policy lets it keep
+		// one. All per-board state (target, jitter stream, busy counter)
+		// is derived from the lease, so outcomes stay keyed to the plan,
+		// never to scheduling.
+		worker := func() {
+			var (
+				lease       *Lease
+				target      TargetSystem
+				jitter      *rand.Rand
+				consecFails int
+				busyNS      *telemetry.Counter
+				boardID     = -1
+			)
+			release := func() {
+				if lease != nil {
+					r.progress.BoardIdle(boardID)
+					lease.Release()
+					lease = nil
+				}
+			}
+			defer release()
+			quarantine := func() {
+				mu.Lock()
+				sum.QuarantinedBoards++
+				mu.Unlock()
+				mQuarantined.Inc()
+				r.progress.BoardQuarantined(boardID)
+				lease.Quarantine()
+				lease = nil
+			}
 			for {
 				if !r.checkpoint(ctx) {
 					q.halt()
@@ -305,10 +383,49 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 					q.halt()
 					return
 				}
-				r.progress.BoardIdle(boardID)
-				qe, ok := q.pop()
+				if lease != nil {
+					r.progress.BoardIdle(boardID)
+				}
+				qe, ok, mustWait := q.tryPop()
+				if mustWait {
+					// The queue is empty but other workers still hold
+					// experiments that may come back (requeue after a
+					// quarantine). Give the board up before blocking: the
+					// requeued experiment may need this very board — or
+					// another campaign may.
+					release()
+					qe, ok = q.pop()
+				}
 				if !ok {
 					return
+				}
+				if lease != nil && handle.ShouldYield() {
+					// Over the fair-share entitlement with another campaign
+					// waiting: hand the board back between experiments.
+					release()
+				}
+				if lease == nil {
+					var lerr error
+					lease, lerr = handle.Acquire(runCtx)
+					if lerr != nil {
+						// Fleet exhausted, stop, or cancellation: give the
+						// experiment back and retire. The leftover check
+						// after the pool drains reports exhaustion;
+						// stop/cancel report themselves.
+						q.requeue(qe)
+						return
+					}
+					boardID = lease.Board()
+					target = r.boardTarget()
+					installForwardSet(target, fwSet)
+					// Per-board seeded jitter keeps retry timing
+					// deterministic in tests without coupling it to the
+					// experiment RNG streams.
+					jitter = rand.New(rand.NewSource(expSeed(r.camp.Seed, -3-boardID)))
+					consecFails = 0
+					// The busy-time child is resolved once per lease so the
+					// hot loop never touches the family's mutex.
+					busyNS = mBoardBusyNS.With(strconv.Itoa(boardID))
 				}
 				mDispatched.Inc()
 				r.progress.BoardRunning(boardID, qe.seq)
@@ -429,13 +546,7 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 							}
 						}
 						if th := r.retry.BoardFailureThreshold; th > 0 && consecFails >= th {
-							mu.Lock()
-							sum.QuarantinedBoards++
-							mu.Unlock()
-							mQuarantined.Inc()
-							r.progress.BoardQuarantined(boardID)
-							q.finish()
-							return
+							quarantine()
 						}
 						q.finish()
 						break
@@ -446,33 +557,26 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 					retryCounter(class).Inc()
 					r.progress.Retried()
 					// Circuit breaker: after too many consecutive failures
-					// the board is suspect — hand the experiment back to
-					// the healthy boards and retire. The failures are
+					// the board is suspect — hand the experiment back and
+					// quarantine the board fleet-wide. The failures are
 					// attributed to the board, so the requeued experiment
-					// gets its retry budget back.
+					// gets its retry budget back; the worker itself
+					// survives and may lease a healthy replacement.
 					if th := r.retry.BoardFailureThreshold; th > 0 && consecFails >= th {
 						qe.attempts = 0
 						q.requeue(qe)
-						mu.Lock()
-						sum.QuarantinedBoards++
-						mu.Unlock()
-						mQuarantined.Inc()
-						r.progress.BoardQuarantined(boardID)
-						return
+						quarantine()
+						break
 					}
 					if class == Wedged && r.factory == nil {
 						// The wedged attempt may still be driving this
 						// target; without a factory there is no replacement
-						// board, so the board retires with its work
+						// board, so the board is quarantined with its work
 						// requeued (and the campaign fails cleanly if it
 						// was the last one).
 						q.requeue(qe)
-						mu.Lock()
-						sum.QuarantinedBoards++
-						mu.Unlock()
-						mQuarantined.Inc()
-						r.progress.BoardQuarantined(boardID)
-						return
+						quarantine()
+						break
 					}
 					if class != Persistent {
 						d := r.retry.backoff(attempt+1, jitter)
@@ -496,13 +600,19 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 			}
 		}
 
+		// Worker parallelism is this campaign's board budget, capped by
+		// what the fleet could ever grant.
+		workers := r.boards
+		if c := fleet.Capacity(); c < workers {
+			workers = c
+		}
 		var wg sync.WaitGroup
-		for b := 0; b < r.boards; b++ {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(id int) {
+			go func() {
 				defer wg.Done()
-				worker(id)
-			}(b)
+				worker()
+			}()
 		}
 		wg.Wait()
 
@@ -648,13 +758,53 @@ type expQueue struct {
 	items    []queuedExperiment
 	inFlight int
 	halted   bool
+	done     chan struct{}
+	doneSet  bool
 }
 
 func newExpQueue(items []queuedExperiment) *expQueue {
-	q := &expQueue{items: items}
+	q := &expQueue{items: items, done: make(chan struct{})}
 	q.cond = sync.NewCond(&q.mu)
 	mQueueDepth.Set(int64(len(items)))
+	q.mu.Lock()
+	q.maybeDoneLocked()
+	q.mu.Unlock()
 	return q
+}
+
+// drained returns a channel closed once no work remains or the queue is
+// halted — the signal that cancels workers parked in a fleet Acquire
+// which no remaining work could ever use.
+func (q *expQueue) drained() <-chan struct{} { return q.done }
+
+func (q *expQueue) maybeDoneLocked() {
+	if !q.doneSet && (q.halted || (len(q.items) == 0 && q.inFlight == 0)) {
+		q.doneSet = true
+		close(q.done)
+	}
+}
+
+// tryPop is the non-blocking pop: ok reports work handed out, mustWait
+// reports an empty queue with experiments still in flight (a failing
+// worker may requeue one) — the caller should release its board before
+// falling back to the blocking pop.
+func (q *expQueue) tryPop() (qe queuedExperiment, ok, mustWait bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.halted {
+		return queuedExperiment{}, false, false
+	}
+	if len(q.items) > 0 {
+		qe = q.items[0]
+		q.items = q.items[1:]
+		q.inFlight++
+		mQueueDepth.Set(int64(len(q.items)))
+		return qe, true, false
+	}
+	if q.inFlight == 0 {
+		return queuedExperiment{}, false, false
+	}
+	return queuedExperiment{}, false, true
 }
 
 // pop hands the next experiment to a worker. It blocks while the queue is
@@ -686,6 +836,7 @@ func (q *expQueue) pop() (queuedExperiment, bool) {
 func (q *expQueue) finish() {
 	q.mu.Lock()
 	q.inFlight--
+	q.maybeDoneLocked()
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }
@@ -704,6 +855,7 @@ func (q *expQueue) requeue(qe queuedExperiment) {
 func (q *expQueue) halt() {
 	q.mu.Lock()
 	q.halted = true
+	q.maybeDoneLocked()
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }

@@ -1,0 +1,439 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/pinlevel"
+	"goofi/internal/scifi"
+	"goofi/internal/sqldb"
+	"goofi/internal/swifi"
+	"goofi/internal/telemetry"
+	"goofi/internal/thor"
+	"goofi/internal/workload"
+)
+
+// SubmitRequest is the POST /api/v1/campaigns body: everything goofid
+// needs to configure, set up, and run one campaign in a tenant's
+// namespace. The zero values of the optional fields reproduce the
+// `goofi run` defaults, which is what keeps a submitted campaign
+// byte-identical to a CLI run of the same definition.
+type SubmitRequest struct {
+	// Tenant selects the namespace (its own database file).
+	Tenant string `json:"tenant"`
+	// Campaign is the full campaign definition (the CampaignData row).
+	Campaign *campaign.Campaign `json:"campaign"`
+	// TargetKind configures the target system server-side when the
+	// tenant database does not hold it yet: scifi, swifi, pinlevel
+	// (default scifi). ImageBytes sizes swifi workload images.
+	TargetKind string `json:"targetKind,omitempty"`
+	ImageBytes int    `json:"imageBytes,omitempty"`
+	// Technique selects the injection algorithm: scifi,
+	// swifi-preruntime, swifi-runtime, pin-level (default scifi).
+	Technique string `json:"technique,omitempty"`
+	// Boards caps this campaign's parallelism on the shared fleet
+	// (default 1).
+	Boards int `json:"boards,omitempty"`
+	// Checkpoint is the durable-cursor interval in experiments
+	// (default core.DefaultCheckpointInterval; -1 disables).
+	Checkpoint int `json:"checkpoint,omitempty"`
+	// NoForward disables checkpoint fast-forwarding.
+	NoForward bool `json:"noForward,omitempty"`
+	// Retry policy knobs (both zero = legacy fail-fast semantics).
+	MaxRetries            int `json:"maxRetries,omitempty"`
+	BoardFailureThreshold int `json:"boardFailureThreshold,omitempty"`
+}
+
+// normalize fills the defaulted fields in place.
+func (sr *SubmitRequest) normalize() {
+	if sr.Technique == "" {
+		sr.Technique = "scifi"
+	}
+	if sr.TargetKind == "" {
+		switch sr.Technique {
+		case "swifi-preruntime", "swifi-runtime":
+			sr.TargetKind = "swifi"
+		case "pin-level":
+			sr.TargetKind = "pinlevel"
+		default:
+			sr.TargetKind = "scifi"
+		}
+	}
+	if sr.ImageBytes <= 0 {
+		sr.ImageBytes = 4096
+	}
+	if sr.Boards <= 0 {
+		sr.Boards = 1
+	}
+	if sr.Checkpoint == 0 {
+		sr.Checkpoint = core.DefaultCheckpointInterval
+	}
+	if sr.Campaign != nil {
+		// The CLI resolves built-in workloads by name and defaults the
+		// log mode; a JSON submission gets the same ergonomics.
+		if sr.Campaign.Workload.Source == "" {
+			if spec, ok := workload.All()[sr.Campaign.Workload.Name]; ok {
+				sr.Campaign.Workload = spec
+			}
+		}
+		if sr.Campaign.LogMode == "" {
+			sr.Campaign.LogMode = campaign.LogNormal
+		}
+	}
+}
+
+// validate rejects a submission before any state is created.
+func (sr *SubmitRequest) validate() error {
+	if !campaign.ValidTenant(sr.Tenant) {
+		return fmt.Errorf("invalid tenant name %q", sr.Tenant)
+	}
+	if sr.Campaign == nil {
+		return fmt.Errorf("submission has no campaign definition")
+	}
+	if err := sr.Campaign.Validate(); err != nil {
+		return err
+	}
+	if _, ok := core.Algorithms()[sr.Technique]; !ok {
+		return fmt.Errorf("unknown technique %q", sr.Technique)
+	}
+	switch sr.TargetKind {
+	case "scifi", "swifi", "pinlevel":
+	default:
+		return fmt.Errorf("unknown target kind %q", sr.TargetKind)
+	}
+	return nil
+}
+
+// targetData builds the TargetSystemData for the request's target kind.
+func (sr *SubmitRequest) targetData() *campaign.TargetSystemData {
+	name := sr.Campaign.TargetName
+	switch sr.TargetKind {
+	case "swifi":
+		return swifi.TargetSystemData(name, sr.ImageBytes)
+	case "pinlevel":
+		return pinlevel.TargetSystemData(name)
+	default:
+		return scifi.TargetSystemData(name)
+	}
+}
+
+// factory builds fresh target systems for the request's technique — the
+// same switch as the goofi CLI's targetFactory.
+func (sr *SubmitRequest) factory() func() core.TargetSystem {
+	technique := sr.Technique
+	return func() core.TargetSystem {
+		switch technique {
+		case "swifi-preruntime":
+			return swifi.New(thor.DefaultConfig(), swifi.PreRuntime)
+		case "swifi-runtime":
+			return swifi.New(thor.DefaultConfig(), swifi.Runtime)
+		case "pin-level":
+			return pinlevel.New(thor.DefaultConfig())
+		default:
+			return scifi.New(thor.DefaultConfig())
+		}
+	}
+}
+
+// Job lifecycle states. Pending and running jobs become pending again
+// on a daemon restart (recovery resumes them); done, failed and
+// cancelled are terminal.
+const (
+	StatePending   = "pending"
+	StateRunning   = "running"
+	StatePaused    = "paused"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// job is one submitted campaign: the durable spec plus the live runner
+// state while it executes.
+type job struct {
+	spec    SubmitRequest
+	recover bool // re-enqueued at boot: resume from the durable cursor
+
+	mu        sync.Mutex
+	state     string
+	errMsg    string
+	summary   *core.Summary
+	runner    *core.Runner
+	prog      *telemetry.Progress
+	cancelled bool // user cancel (vs. daemon shutdown stop)
+}
+
+func (j *job) key() string { return jobKey(j.spec.Tenant, j.spec.Campaign.Name) }
+
+func jobKey(tenant, name string) string { return tenant + "/" + name }
+
+func (j *job) setState(state, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = errMsg
+	j.mu.Unlock()
+}
+
+// snapshot returns the job's API status view.
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		Tenant:   j.spec.Tenant,
+		Campaign: j.spec.Campaign.Name,
+		State:    j.state,
+		Error:    j.errMsg,
+		Summary:  j.summary,
+	}
+	if j.prog != nil {
+		s := j.prog.Snapshot()
+		st.Progress = &s
+	}
+	return st
+}
+
+// Durable job table, one per tenant database: the daemon's boot
+// recovery re-enqueues every row still marked pending.
+const jobsDDL = `CREATE TABLE IF NOT EXISTS ServerJob (
+		campaignName TEXT PRIMARY KEY,
+		spec         BLOB NOT NULL,
+		state        TEXT NOT NULL
+	)`
+
+func ensureJobTable(db *sqldb.DB) error {
+	_, err := db.Exec(jobsDDL)
+	return err
+}
+
+// putJobRow inserts or replaces the durable job row and raises a
+// durability barrier, so an accepted submission survives a crash.
+func putJobRow(db *sqldb.DB, spec *SubmitRequest, state string) error {
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("server: marshal job spec: %w", err)
+	}
+	name := spec.Campaign.Name
+	n, err := db.Exec(`UPDATE ServerJob SET spec = ?, state = ? WHERE campaignName = ?`,
+		sqldb.Blob(blob), sqldb.Text(state), sqldb.Text(name))
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		if _, err := db.Exec(`INSERT INTO ServerJob VALUES (?, ?, ?)`,
+			sqldb.Text(name), sqldb.Blob(blob), sqldb.Text(state)); err != nil {
+			return err
+		}
+	}
+	return db.Barrier()
+}
+
+func setJobRowState(db *sqldb.DB, name, state string) error {
+	if _, err := db.Exec(`UPDATE ServerJob SET state = ? WHERE campaignName = ?`,
+		sqldb.Text(state), sqldb.Text(name)); err != nil {
+		return err
+	}
+	return db.Barrier()
+}
+
+// pendingJobRows loads the specs of every non-terminal job in a tenant
+// database.
+func pendingJobRows(db *sqldb.DB) ([]*SubmitRequest, error) {
+	if err := ensureJobTable(db); err != nil {
+		return nil, err
+	}
+	r, err := db.Query(`SELECT spec FROM ServerJob WHERE state = ?`, sqldb.Text(StatePending))
+	if err != nil {
+		return nil, err
+	}
+	var out []*SubmitRequest
+	for _, row := range r.Rows {
+		var spec SubmitRequest
+		if err := json.Unmarshal(row[0].B, &spec); err != nil {
+			return nil, fmt.Errorf("server: unmarshal job spec: %w", err)
+		}
+		out = append(out, &spec)
+	}
+	return out, nil
+}
+
+// execute runs one campaign end to end, mirroring `goofi run` (and
+// `goofi resume` for recovered jobs) exactly: same sink, same option
+// set, same fresh-run deletes, same teardown order. That parity is what
+// the byte-identity differential tests pin.
+func (s *Server) execute(ctx context.Context, j *job) {
+	spec := &j.spec
+	name := spec.Campaign.Name
+	// A queued job can be cancelled before it ever starts.
+	j.mu.Lock()
+	if j.cancelled {
+		j.state = StateCancelled
+		j.mu.Unlock()
+		s.markDurable(name, spec.Tenant, StateCancelled)
+		return
+	}
+	j.mu.Unlock()
+	fail := func(err error) {
+		j.setState(StateFailed, err.Error())
+		s.markDurable(name, spec.Tenant, StateFailed)
+	}
+	st, db, release, err := s.tenants.Acquire(spec.Tenant)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer release()
+	camp, err := st.GetCampaign(name)
+	if err != nil {
+		fail(err)
+		return
+	}
+	tsd, err := st.GetTargetSystem(camp.TargetName)
+	if err != nil {
+		fail(err)
+		return
+	}
+	alg := core.Algorithms()[spec.Technique]
+	factory := spec.factory()
+
+	// A recovered job resumes from whatever the interrupted run made
+	// durable; a fresh submission starts from a clean slate.
+	var resume *campaign.Checkpoint
+	if j.recover {
+		cp, err := st.RecoverCursor(name)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if cp.Reference || len(cp.Completed) > 0 {
+			resume = cp
+		}
+	}
+
+	sink := campaign.NewBatchingSink(st, 0)
+	defer sink.Close()
+	prog := telemetry.NewProgress(s.fleet.Capacity())
+	tr := telemetry.NewTracer()
+	opts := []core.RunnerOption{
+		core.WithSink(sink),
+		core.WithBoards(spec.Boards, factory),
+		core.WithFleet(s.fleet),
+		core.WithTelemetry(tr, prog),
+	}
+	if spec.Checkpoint > 0 {
+		opts = append(opts, core.WithCheckpoints(spec.Checkpoint))
+	}
+	if spec.NoForward {
+		opts = append(opts, core.WithForwarding(core.ForwardConfig{Disabled: true}))
+	}
+	if spec.MaxRetries > 0 || spec.BoardFailureThreshold > 0 {
+		opts = append(opts, core.WithRetryPolicy(core.RetryPolicy{
+			MaxRetries:            spec.MaxRetries,
+			BoardFailureThreshold: spec.BoardFailureThreshold,
+		}))
+	}
+	if resume != nil {
+		opts = append(opts, core.WithResume(resume))
+	}
+	r, err := core.NewRunner(factory(), alg, camp, tsd, opts...)
+	if err != nil {
+		fail(err)
+		return
+	}
+	j.mu.Lock()
+	j.runner = r
+	j.prog = prog
+	j.state = StateRunning
+	if j.cancelled {
+		// Cancel raced the startup: the handler had no runner to stop.
+		r.Stop()
+	}
+	j.mu.Unlock()
+
+	resumed := 0
+	if resume != nil {
+		resumed = len(resume.Completed)
+	} else {
+		// Fresh run: previous results, phase spans, and any stale
+		// cursor go — exactly what `goofi run` deletes.
+		if err := st.DeleteCheckpoint(name); err != nil {
+			fail(err)
+			return
+		}
+		if err := st.DeleteExperiments(name); err != nil {
+			fail(err)
+			return
+		}
+		if err := st.DeleteTelemetry(name); err != nil {
+			fail(err)
+			return
+		}
+	}
+
+	sum, runErr := r.Run(ctx)
+	j.mu.Lock()
+	j.summary = sum
+	cancelled := j.cancelled
+	j.mu.Unlock()
+
+	if ctx.Err() != nil {
+		// Killed (crash simulation or hard daemon stop): leave the
+		// durable state exactly as the interrupted run left it — the
+		// pending job row plus the WAL — for recovery on the next boot.
+		j.setState(StatePending, "")
+		return
+	}
+	if runErr != nil {
+		fail(runErr)
+		return
+	}
+	// Clean teardown in `goofi run` order: drain the sink, persist the
+	// phase spans, clear the cursor of a complete campaign, compact.
+	if err := sink.Close(); err != nil {
+		fail(err)
+		return
+	}
+	if tr.Len() > 0 {
+		if err := st.LogTelemetry(name, tr.Drain()); err != nil {
+			fail(err)
+			return
+		}
+	}
+	total := resumed + sum.Experiments
+	complete := total >= camp.NumExperiments
+	if complete {
+		if err := st.DeleteCheckpoint(name); err != nil {
+			fail(err)
+			return
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		fail(err)
+		return
+	}
+	switch {
+	case cancelled:
+		j.setState(StateCancelled, "")
+		s.markDurable(name, spec.Tenant, StateCancelled)
+	case complete:
+		j.setState(StateDone, "")
+		s.markDurable(name, spec.Tenant, StateDone)
+	default:
+		// Stopped short without a user cancel: the daemon is shutting
+		// down. The durable row stays pending so the next boot resumes.
+		j.setState(StatePending, "")
+	}
+}
+
+// markDurable best-effort updates the tenant's job row; the in-memory
+// state already reflects the outcome.
+func (s *Server) markDurable(name, tenant, state string) {
+	_, db, release, err := s.tenants.Acquire(tenant)
+	if err != nil {
+		return
+	}
+	defer release()
+	_ = setJobRowState(db, name, state)
+}

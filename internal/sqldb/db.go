@@ -28,6 +28,10 @@ type DB struct {
 	wal      *WAL
 	snapPath string
 	epoch    uint64
+	// dirty tracks whether statements were appended to the WAL since the
+	// last checkpoint; a clean database's snapshot is already complete,
+	// so idle compaction (e.g. the daemon's tenant manager) can skip it.
+	dirty bool
 }
 
 // stmtCacheLimit bounds the parsed-statement cache. Campaign workloads

@@ -174,7 +174,7 @@ func OpenAt(path string, policy SyncPolicy) (*DB, error) {
 	}
 	// Replay before attaching the WAL: replayed statements re-execute
 	// through Exec and must not be logged a second time.
-	_, good, err := db.replayWAL(f)
+	applied, good, err := db.replayWAL(f)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -200,6 +200,9 @@ func OpenAt(path string, policy SyncPolicy) (*DB, error) {
 	db.mu.Lock()
 	db.wal = wal
 	db.snapPath = path
+	// Statements replayed from the log are ahead of the snapshot, so the
+	// database opens dirty and the next checkpoint folds them in.
+	db.dirty = applied > 0
 	db.mu.Unlock()
 	return db, nil
 }
@@ -240,8 +243,19 @@ func (db *DB) Checkpoint() error {
 		return err
 	}
 	db.epoch = next
+	db.dirty = false
 	mCompactions.Inc()
 	return nil
+}
+
+// Dirty reports whether write statements reached the WAL since the last
+// Checkpoint (including statements replayed from the log on open). A
+// clean database needs no compaction: its snapshot already holds
+// everything in memory.
+func (db *DB) Dirty() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.dirty
 }
 
 // Close flushes and closes the write-ahead log. In-memory databases

@@ -392,5 +392,6 @@ func (db *DB) logStmt(sql string, args []Value) error {
 	if db.wal == nil {
 		return nil
 	}
+	db.dirty = true
 	return db.wal.Append(sql, args)
 }

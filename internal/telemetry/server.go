@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -62,5 +63,19 @@ func NewServer(addr string, reg *Registry, prog *Progress) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// Shutdown stops the server gracefully: the listener closes immediately
+// (no new scrapes) and in-flight requests are allowed to finish until
+// ctx expires, at which point they are cut off like Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Draining timed out or the context was already cancelled: fall
+		// back to the hard close so no handler outlives the daemon.
+		_ = s.srv.Close()
+	}
+	return err
+}
+
+// Close stops the server immediately, dropping in-flight requests. Use
+// Shutdown to drain them first.
 func (s *Server) Close() error { return s.srv.Close() }

@@ -1,12 +1,15 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // get fetches a path from the test server and returns status, content
@@ -119,5 +122,55 @@ func TestNewServer(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestServerShutdownGraceful: with no requests in flight, Shutdown
+// drains immediately, and the listener stops accepting.
+func TestServerShutdownGraceful(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewRegistry(), NewProgress(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown = %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestServerShutdownTimeout: a connection stuck mid-request keeps
+// Shutdown from draining; when the context expires the server falls
+// back to a hard close instead of hanging the daemon forever.
+func TestServerShutdownTimeout(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewRegistry(), NewProgress(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A partial request pins the connection active.
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = srv.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("shutdown reported clean drain with a stuck connection")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shutdown took %v, fallback close did not engage", elapsed)
 	}
 }
