@@ -20,6 +20,7 @@ tier1:
 	$(GO) test -race ./internal/core/ ./internal/chaos/ . -run 'Chaos|Retry|Quarantine|Watchdog|Panic|InvalidRun|DrainsAndFlushes' -count 1
 	$(GO) test -race ./internal/telemetry/ . -run 'Telemetry|Registry|Prometheus|Handler|Progress' -count 1
 	$(GO) test -race ./internal/server/ ./internal/core/ ./internal/campaign/ -run 'Differential|Fleet|Tenant|Admission|Cancel|Submit' -count 1
+	$(GO) test -race ./internal/shard/ ./internal/core/ . -run 'Shard|Partition|Coalesce' -count 1
 	$(GO) test -race ./...
 
 # tier2 is the crash-safety suite: the WAL crash-injection and resume
@@ -50,9 +51,11 @@ race:
 # blobs: checkpoint fast-forwarding (on vs off) into BENCH_PR3.json, the
 # fault-tolerance layer's healthy-path overhead into BENCH_PR4.json,
 # the fully-observed campaign's instrumentation overhead into
-# BENCH_PR5.json (acceptance: overhead_ratio <= 1.05), and the goofid
+# BENCH_PR5.json (acceptance: overhead_ratio <= 1.05), the goofid
 # service comparison (four concurrent tenant campaigns vs four
-# sequential CLI runs, plus per-submit API latency) into BENCH_PR6.json.
+# sequential CLI runs, plus per-submit API latency) into BENCH_PR6.json,
+# and the sharded-vs-solo comparison into BENCH_PR7.json (acceptance:
+# overhead_ratio <= 1.10 on one CPU, where no speedup is possible).
 bench:
 	$(GO) test . -run xxx -bench . -benchtime 1x
 	$(GO) test . -run xxx -bench BenchmarkCampaignPID -benchtime 1x -count 3
@@ -60,6 +63,7 @@ bench:
 	$(GO) run ./cmd/goofi-bench -mode robustness -reps 5 -o BENCH_PR4.json
 	$(GO) run ./cmd/goofi-bench -mode telemetry -reps 5 -o BENCH_PR5.json
 	$(GO) run ./cmd/goofi-bench -mode service -n 400 -reps 3 -o BENCH_PR6.json
+	$(GO) run ./cmd/goofi-bench -mode shard -n 2000 -reps 5 -o BENCH_PR7.json
 
 # fuzz runs each native Go fuzzer for a bounded time (override with
 # FUZZTIME=1m etc.). New corpus entries land in the build cache;

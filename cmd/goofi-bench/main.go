@@ -8,6 +8,7 @@
 //	go run ./cmd/goofi-bench -mode robustness -o BENCH_PR4.json
 //	go run ./cmd/goofi-bench -mode telemetry -o BENCH_PR5.json
 //	go run ./cmd/goofi-bench -mode service -o BENCH_PR6.json
+//	go run ./cmd/goofi-bench -mode shard -o BENCH_PR7.json
 //
 // The forwarding mode compares checkpoint fast-forwarding on vs off; the
 // robustness mode compares a healthy campaign with the fault-tolerance
@@ -72,7 +73,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per configuration")
 	boards := flag.Int("boards", 1, "simulated boards")
 	seed := flag.Int64("seed", 1, "campaign seed")
-	mode := flag.String("mode", "forwarding", "comparison: forwarding, robustness, telemetry, or service")
+	mode := flag.String("mode", "forwarding", "comparison: forwarding, robustness, telemetry, service, or shard")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 	var err error
@@ -85,6 +86,8 @@ func main() {
 		err = runTelemetry(*n, *reps, *boards, *seed, *out)
 	case "service":
 		err = runService(*n, *reps, *boards, *seed, *out)
+	case "shard":
+		err = runShard(*n, *reps, *boards, *seed, *out)
 	default:
 		err = fmt.Errorf("unknown -mode %q", *mode)
 	}

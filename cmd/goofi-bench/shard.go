@@ -1,0 +1,181 @@
+package main
+
+// The shard mode: one campaign through the daemon's sharded path
+// (coordinator + in-process shard workers over the Direct transport)
+// versus the same campaign through the same daemon's solo path, with the
+// same total board budget. The results are byte-identical by
+// construction (the conformance suite pins that); this mode prices only
+// the partition/lease/merge machinery, because everything else — HTTP
+// submit, WAL-backed store, analysis — is identical between the two
+// legs. Emulation is CPU-bound, so the wall-clock speedup is capped by
+// the host's core count (cpus in the blob): on one core the sharded run
+// can at best tie the solo run, and overhead_ratio — median sharded wall
+// over median solo wall — is the protocol's round-trip cost.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"goofi/internal/server"
+)
+
+type shardResult struct {
+	Benchmark       string    `json:"benchmark"`
+	Date            string    `json:"date"`
+	CPUs            int       `json:"cpus"`
+	Experiments     int       `json:"experiments"`
+	Shards          int       `json:"shards"`
+	BoardsPerShard  int       `json:"boards_per_shard"`
+	Reps            int       `json:"reps"`
+	ShardedWallMS   []float64 `json:"sharded_wall_ms"`
+	SoloWallMS      []float64 `json:"solo_wall_ms"`
+	Speedup         float64   `json:"wall_clock_speedup"`
+	OverheadRatio   float64   `json:"overhead_ratio"`
+	SpeedupExpected bool      `json:"speedup_expected"`
+}
+
+// shardRep runs one repetition of the campaign through a fresh daemon
+// and returns the wall time from submit to done. shards == 0 takes the
+// daemon's solo path with submitBoards boards in one runner; shards > 0
+// takes the sharded path with submitBoards boards per shard. The daemon
+// capacity is sized so neither leg queues on admission.
+func shardRep(n, shards, submitBoards int, seed int64) (float64, error) {
+	capacity := submitBoards
+	if shards > 0 {
+		capacity = shards * submitBoards
+	}
+	dir, err := os.MkdirTemp("", "goofi-bench-shard")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Config{
+		DataDir:       dir,
+		Boards:        capacity,
+		MaxConcurrent: 1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	start := time.Now()
+	req := server.SubmitRequest{
+		Tenant:   "bench",
+		Campaign: pidCampaign("bench-shard", n, seed),
+		Boards:   submitBoards,
+		Shards:   shards,
+	}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(base+"/api/v1/campaigns", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("submit: %s", resp.Status)
+	}
+	url := base + "/api/v1/campaigns/bench/bench-shard"
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			return 0, err
+		}
+		var st server.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if st.State == server.StateDone {
+			break
+		}
+		if st.State == server.StateFailed || st.State == server.StateCancelled {
+			return 0, fmt.Errorf("campaign ended %s: %s", st.State, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+func runShard(n, reps, boards int, seed int64, out string) error {
+	shards := runtime.NumCPU()
+	if shards < 2 {
+		shards = 2
+	}
+	if shards > 4 {
+		shards = 4
+	}
+	res := shardResult{
+		Benchmark:      "BenchmarkCampaignPID/shard",
+		Date:           time.Now().UTC().Format("2006-01-02"),
+		CPUs:           runtime.NumCPU(),
+		Experiments:    n,
+		Shards:         shards,
+		BoardsPerShard: boards,
+		Reps:           reps,
+		// On one core the shard workers time-slice a single CPU, so the
+		// best case is a tie and the acceptance bar is the overhead
+		// ratio, not a speedup.
+		SpeedupExpected: runtime.NumCPU() > 1,
+	}
+	// The solo leg runs the same total board count in a single runner,
+	// so the two legs differ only in the shard protocol.
+	soloBoards := shards * boards
+	// Untimed warmup of both paths.
+	if _, err := shardRep(n, shards, boards, seed); err != nil {
+		return err
+	}
+	if _, err := shardRep(n, 0, soloBoards, seed); err != nil {
+		return err
+	}
+	for rep := 0; rep < reps; rep++ {
+		wall, err := shardRep(n, shards, boards, seed)
+		if err != nil {
+			return err
+		}
+		res.ShardedWallMS = append(res.ShardedWallMS, wall)
+		solo, err := shardRep(n, 0, soloBoards, seed)
+		if err != nil {
+			return err
+		}
+		res.SoloWallMS = append(res.SoloWallMS, solo)
+	}
+	res.Speedup = medianF(res.SoloWallMS) / medianF(res.ShardedWallMS)
+	res.OverheadRatio = medianF(res.ShardedWallMS) / medianF(res.SoloWallMS)
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	fmt.Printf("sharded: %.1fms across %d shards; solo: %.1fms; speedup %.2fx, overhead %.2fx on %d cpu(s) (%s)\n",
+		medianF(res.ShardedWallMS), shards, medianF(res.SoloWallMS),
+		res.Speedup, res.OverheadRatio, res.CPUs, out)
+	return os.WriteFile(out, blob, 0o644)
+}

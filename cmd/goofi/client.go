@@ -1,21 +1,26 @@
 package main
 
-// The goofid client subcommands: submit, status, results, cancel. They
-// speak the daemon's JSON API and share the campaign-definition flag
-// group with `goofi setup`, so a definition that runs locally submits
-// unchanged.
+// The goofid client subcommands: submit, status, results, cancel, and
+// shard-worker. They speak the daemon's JSON API and share the
+// campaign-definition flag group with `goofi setup`, so a definition
+// that runs locally submits unchanged.
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"goofi/internal/server"
+	"goofi/internal/shard"
 )
 
 // apiBase normalizes -server into a URL prefix: a bare host:port gets
@@ -92,6 +97,8 @@ func cmdSubmit(args []string) error {
 	noFwd := fs.Bool("no-forward", false, "disable checkpoint fast-forwarding")
 	maxRetries := fs.Int("max-retries", 0, "re-attempts per failed experiment")
 	failThreshold := fs.Int("board-failure-threshold", 0, "consecutive harness failures before a board is quarantined")
+	shards := fs.Int("shards", 0, "partition the plan across this many shard workers (0 = daemon default)")
+	external := fs.Bool("external-workers", false, "with -shards, wait for external `goofi shard-worker` processes instead of spawning in-process workers")
 	wait := fs.Bool("wait", false, "poll until the campaign finishes")
 	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval with -wait")
 	cf := newCampaignFlags(fs)
@@ -113,6 +120,8 @@ func cmdSubmit(args []string) error {
 		NoForward:             *noFwd,
 		MaxRetries:            *maxRetries,
 		BoardFailureThreshold: *failThreshold,
+		Shards:                *shards,
+		ExternalWorkers:       *external,
 	}
 	base := apiBase(*srvAddr)
 	var st server.JobStatus
@@ -188,6 +197,55 @@ func cmdResults(args []string) error {
 		return fmt.Errorf("results: %w", err)
 	}
 	fmt.Print(res.Report)
+	return nil
+}
+
+// cmdShardWorker runs one external shard worker against a goofid
+// coordinator: it leases experiment ranges of the named campaign,
+// executes them against a local WAL-backed shard database, and streams
+// the logged records back until the coordinator reports the plan done.
+func cmdShardWorker(args []string) error {
+	fs := flag.NewFlagSet("shard-worker", flag.ContinueOnError)
+	srvAddr := fs.String("server", "127.0.0.1:7077", "goofid address")
+	tenant := fs.String("tenant", "default", "tenant namespace")
+	name := fs.String("campaign", "", "campaign name (required)")
+	workerName := fs.String("name", "", "worker name reported to the coordinator (default host-scoped)")
+	dir := fs.String("dir", "", "shard database directory (required)")
+	boards := fs.Int("boards", 1, "boards in this worker's private pool")
+	poll := fs.Duration("poll", 100*time.Millisecond, "lease poll / retry base interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("shard-worker: -campaign is required")
+	}
+	if *dir == "" {
+		return fmt.Errorf("shard-worker: -dir is required")
+	}
+	if *workerName == "" {
+		host, _ := os.Hostname()
+		*workerName = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := shard.NewWorker(shard.WorkerConfig{
+		Name:   *workerName,
+		Dir:    *dir,
+		Boards: *boards,
+		Transport: &shard.HTTPTransport{
+			Base:     apiBase(*srvAddr),
+			Tenant:   *tenant,
+			Campaign: *name,
+		},
+		Poll: *poll,
+	})
+	if err != nil {
+		return fmt.Errorf("shard-worker: %w", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("shard-worker: %w", err)
+	}
+	fmt.Printf("shard-worker %s: done\n", *workerName)
 	return nil
 }
 

@@ -69,10 +69,11 @@ commands:
   workloads  list built-in workloads
 
 daemon client (talks to a running goofid):
-  submit     submit a campaign to a goofid daemon
-  status     show a submitted campaign's state and progress
-  results    fetch a submitted campaign's dependability report
-  cancel     cancel a submitted campaign
+  submit       submit a campaign to a goofid daemon
+  status       show a submitted campaign's state and progress
+  results      fetch a submitted campaign's dependability report
+  cancel       cancel a submitted campaign
+  shard-worker lease and execute shard ranges of a sharded campaign
 `
 }
 
@@ -109,6 +110,8 @@ func run(args []string) error {
 		return cmdResults(rest)
 	case "cancel":
 		return cmdCancel(rest)
+	case "shard-worker":
+		return cmdShardWorker(rest)
 	case "help", "-h", "--help":
 		fmt.Print(usage())
 		return nil

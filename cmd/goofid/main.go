@@ -31,6 +31,8 @@ func main() {
 		queue         = flag.Int("queue", 8, "accepted-but-not-running campaign cap (429 beyond it)")
 		compactEvery  = flag.Duration("compact-interval", time.Minute, "idle tenant database compaction sweep (0 disables)")
 		drain         = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before campaigns are cut off")
+		shards        = flag.Int("shards", 0, "run every campaign sharded across this many in-process workers unless the submission picks its own count (0 = solo)")
+		shardBeat     = flag.Duration("shard-heartbeat", 0, "shard lease heartbeat period (0 = built-in default)")
 	)
 	flag.Parse()
 
@@ -40,6 +42,8 @@ func main() {
 		MaxConcurrent:   *maxConcurrent,
 		QueueDepth:      *queue,
 		CompactInterval: *compactEvery,
+		DefaultShards:   *shards,
+		ShardHeartbeat:  *shardBeat,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "goofid:", err)

@@ -24,6 +24,7 @@ type TenantDBs struct {
 	policy sqldb.SyncPolicy
 
 	mu      sync.Mutex
+	drained *sync.Cond // broadcast when a ref is released (Close drain barrier)
 	open    map[string]*tenantHandle
 	closed  bool
 	nowFunc func() time.Time // test hook
@@ -41,8 +42,10 @@ func NewTenantDBs(dir string, policy sqldb.SyncPolicy) (*TenantDBs, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: tenant dir: %w", err)
 	}
-	return &TenantDBs{dir: dir, policy: policy, open: make(map[string]*tenantHandle),
-		nowFunc: time.Now}, nil
+	t := &TenantDBs{dir: dir, policy: policy, open: make(map[string]*tenantHandle),
+		nowFunc: time.Now}
+	t.drained = sync.NewCond(&t.mu)
+	return t, nil
 }
 
 // ValidTenant reports whether name is usable as a tenant namespace: a
@@ -103,6 +106,10 @@ func (t *TenantDBs) Acquire(tenant string) (*Store, *sqldb.DB, func(), error) {
 		t.mu.Lock()
 		h.refs--
 		h.lastUse = t.nowFunc()
+		if h.refs == 0 {
+			// Wake a Close blocked on the drain barrier.
+			t.drained.Broadcast()
+		}
 		t.mu.Unlock()
 	}
 	return h.store, h.db, release, nil
@@ -166,12 +173,29 @@ func (t *TenantDBs) CompactIdle(maxIdle time.Duration) (int, error) {
 	return closed, firstErr
 }
 
-// Close checkpoints and closes every open tenant database. Callers must
-// have released all pins (outstanding refs are closed anyway, with the
-// same durability guarantees a crash would have — the WAL replays).
+// Close checkpoints and closes every open tenant database. It is a
+// drain barrier: new Acquires fail immediately, and Close blocks until
+// every outstanding pin has been released, so a database is never
+// checkpointed or closed while a campaign (or a shard merge) is still
+// writing through it. The idle-compaction sweeper takes the same lock
+// and skips pinned handles, so it cannot close a database Close is
+// draining toward.
 func (t *TenantDBs) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Flag first: Acquire refuses new pins while Close waits for the
+	// existing ones to drain.
+	t.closed = true
+	for {
+		busy := 0
+		for _, h := range t.open {
+			busy += h.refs
+		}
+		if busy == 0 {
+			break
+		}
+		t.drained.Wait()
+	}
 	var firstErr error
 	for name, h := range t.open {
 		if h.db.Dirty() {
@@ -184,6 +208,5 @@ func (t *TenantDBs) Close() error {
 		}
 		delete(t.open, name)
 	}
-	t.closed = true
 	return firstErr
 }

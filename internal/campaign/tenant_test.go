@@ -77,6 +77,53 @@ func TestTenantDBsIsolateAndReuse(t *testing.T) {
 	}
 }
 
+// TestTenantCloseDrainsActiveRefs pins the shutdown drain barrier: Close
+// must refuse new pins immediately but block until every outstanding pin
+// is released, so a writer mid-batch never sees its database yanked away.
+// Run under -race this also exercises the sweeper/close interleaving.
+func TestTenantCloseDrainsActiveRefs(t *testing.T) {
+	mgr, err := NewTenantDBs(t.TempDir(), sqldb.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, release, err := mgr.Acquire("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan struct{})
+	closed := make(chan error, 1)
+	go func() { closed <- mgr.Close() }()
+	go func() {
+		// Writes through a live pin while Close is pending must succeed.
+		time.Sleep(20 * time.Millisecond)
+		putTestCampaign(t, st)
+		close(released)
+		release()
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a pin was outstanding")
+	case <-time.After(10 * time.Millisecond):
+	}
+	// New pins are refused as soon as Close begins.
+	if _, _, _, err := mgr.Acquire("bob"); err == nil {
+		t.Fatal("Acquire succeeded after Close started")
+	}
+	select {
+	case err := <-closed:
+		select {
+		case <-released:
+		default:
+			t.Fatal("Close returned before the pin was released")
+		}
+		if err != nil {
+			t.Fatalf("Close = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the pin was released")
+	}
+}
+
 func TestTenantCompactIdle(t *testing.T) {
 	dir := t.TempDir()
 	mgr, err := NewTenantDBs(dir, sqldb.SyncNever)

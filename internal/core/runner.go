@@ -83,6 +83,17 @@ type Runner struct {
 	// value enables it with defaults.
 	fw ForwardConfig
 
+	// shardLo/shardHi restrict dispatch to a sequence range
+	// (WithShardRange); shardHi == 0 means the full plan.
+	shardLo, shardHi int
+
+	// presetFw is a forward set recorded by an earlier run of the same
+	// campaign (WithForwardSet); capturedFw is whatever set this run
+	// ended up using, exposed through ForwardSet() so shard workers can
+	// carry it across ranges.
+	presetFw   *ForwardSet
+	capturedFw *ForwardSet
+
 	// retry is the fault-tolerance policy (WithRetryPolicy); the zero
 	// value keeps the legacy abort-on-first-error behaviour.
 	retry RetryPolicy
@@ -184,6 +195,31 @@ func WithFleet(f *Fleet) RunnerOption {
 	return func(r *Runner) { r.extFleet = f }
 }
 
+// WithShardRange restricts dispatch to the plan's sequence numbers in
+// [lo, hi). Planning still draws the complete plan from the campaign
+// seed — the range only filters which experiments this runner executes —
+// so every per-experiment seed, and therefore every record, is identical
+// to the same sequence run as part of a full single-process campaign.
+// This is the execution primitive of distributed sharding: each shard
+// worker runs one range of the shared plan.
+func WithShardRange(lo, hi int) RunnerOption {
+	return func(r *Runner) {
+		r.shardLo = lo
+		r.shardHi = hi
+	}
+}
+
+// WithForwardSet installs a checkpoint forward set recorded by an
+// earlier reference run of the same campaign, for runs that skip the
+// reference (a resumed shard range): board workers forward from the
+// given set instead of running everything cold. The caller is
+// responsible for the set matching the campaign; a mismatched set would
+// restore foreign state. Harmless when the reference runs anyway — the
+// freshly recorded set wins.
+func WithForwardSet(set *ForwardSet) RunnerOption {
+	return func(r *Runner) { r.presetFw = set }
+}
+
 // WithInjectionFilter installs a pre-injection filter (paper §4): drawn
 // injections the filter rejects are skipped and redrawn, so every spent
 // experiment targets live state. The number of skips is reported in
@@ -240,6 +276,13 @@ func (r *Runner) Stop() {
 	}
 	r.cond.Broadcast()
 }
+
+// ForwardSet returns the checkpoint forward set the last Run used —
+// recorded by its reference run, or the preset handed in through
+// WithForwardSet. Valid after Run returns; nil when the target does not
+// forward. Shard workers read it so later ranges of the same campaign
+// can forward without re-running the reference.
+func (r *Runner) ForwardSet() *ForwardSet { return r.capturedFw }
 
 // checkpoint blocks while paused; it reports false when the campaign
 // should stop (Stop called or context cancelled). On pause the sink is

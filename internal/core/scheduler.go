@@ -244,7 +244,13 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 		defer mu.Unlock()
 		return firstErr != nil
 	}
-	var fwSet *ForwardSet
+	// inShard reports whether a sequence number falls inside this
+	// runner's shard range (the whole plan when no range is set).
+	inShard := func(seq int) bool {
+		return r.shardHi == 0 || (seq >= r.shardLo && seq < r.shardHi)
+	}
+
+	fwSet := r.presetFw
 	if !haveRef {
 		r.emit(ProgressEvent{Campaign: r.camp.Name, Phase: "reference", Total: r.camp.NumExperiments})
 		r.progress.SetPhase("reference")
@@ -255,7 +261,12 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 		if refLease, lerr := handle.Acquire(ctx); lerr != nil {
 			refErr = fmt.Errorf("core: campaign %q reference: %w", r.camp.Name, lerr)
 		} else {
-			fwSet, refErr = r.referenceRun(ctx, sum)
+			var recorded *ForwardSet
+			recorded, refErr = r.referenceRun(ctx, sum)
+			if recorded != nil {
+				// A freshly recorded set supersedes any preset one.
+				fwSet = recorded
+			}
 			refLease.Release()
 		}
 		r.tracer.Record(telemetry.SpanRecord{Phase: "reference", Board: -1, Seq: -1,
@@ -273,6 +284,10 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 		}
 	}
 
+	// Whatever set this run ended up with is observable after Run, so a
+	// shard worker can reuse it for later ranges of the same campaign.
+	r.capturedFw = fwSet
+
 	// The pull queue replaces a pushed work channel: a worker that must
 	// give an experiment back (its board got quarantined) can requeue it
 	// for the surviving boards, which a closed channel cannot express.
@@ -282,6 +297,9 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 		for _, pe := range planned {
 			if doneSet[pe.seq] {
 				continue // already durable from the interrupted run
+			}
+			if !inShard(pe.seq) {
+				continue // another shard's slice of the plan
 			}
 			items = append(items, queuedExperiment{plannedExperiment: pe})
 		}

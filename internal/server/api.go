@@ -17,6 +17,7 @@ import (
 	"goofi/internal/analysis"
 	"goofi/internal/campaign"
 	"goofi/internal/core"
+	"goofi/internal/shard"
 	"goofi/internal/sqldb"
 	"goofi/internal/telemetry"
 )
@@ -63,6 +64,12 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /api/v1/campaigns/{tenant}/{name}/cancel", s.handleControl)
 	mux.HandleFunc("GET /api/v1/campaigns/{tenant}/{name}/results", s.handleResults)
 
+	// Shard protocol: external `goofi shard-worker` processes lease
+	// ranges of a sharded campaign, prove liveness, and report records.
+	mux.HandleFunc("POST /api/v1/shards/{tenant}/{name}/lease", s.handleShardLease)
+	mux.HandleFunc("POST /api/v1/shards/{tenant}/{name}/heartbeat", s.handleShardHeartbeat)
+	mux.HandleFunc("POST /api/v1/shards/{tenant}/{name}/report", s.handleShardReport)
+
 	// The PR 5 introspection endpoints, merged into the daemon so one
 	// listener serves both the API and the telemetry.
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -89,6 +96,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.normalize()
+	if req.Shards == 0 {
+		// Inherit the daemon-wide scale-out default; the persisted spec
+		// carries the resolved count so recovery reruns the same way.
+		req.Shards = s.cfg.DefaultShards
+	}
 	if err := req.validate(); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad submission: %v", err)
 		return
@@ -248,7 +260,7 @@ func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
 			j.cancelled = true
 		case StateRunning, StatePaused:
 			j.cancelled = true
-			j.runner.Stop()
+			j.stopWork()
 		default:
 			err = fmt.Errorf("cannot cancel a %s campaign", j.state)
 		}
@@ -296,6 +308,80 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Records = recs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardCoord resolves the live coordinator of a sharded job, or answers
+// the request itself: 404 when the daemon tracks no such job (a worker
+// knocking across a restart gap keeps retrying), 409 when the job is not
+// on the sharded path or not running yet.
+func (s *Server) shardCoord(w http.ResponseWriter, r *http.Request) *shard.Coordinator {
+	tenant, name := r.PathValue("tenant"), r.PathValue("name")
+	j := s.lookup(tenant, name)
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no campaign %s/%s", tenant, name)
+		return nil
+	}
+	j.mu.Lock()
+	coord := j.coord
+	j.mu.Unlock()
+	if coord == nil {
+		writeErr(w, http.StatusConflict, "campaign %s/%s is not serving shards", tenant, name)
+		return nil
+	}
+	return coord
+}
+
+func (s *Server) handleShardLease(w http.ResponseWriter, r *http.Request) {
+	coord := s.shardCoord(w, r)
+	if coord == nil {
+		return
+	}
+	var req shard.LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad lease request: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, coord.Lease(req))
+}
+
+func (s *Server) handleShardHeartbeat(w http.ResponseWriter, r *http.Request) {
+	coord := s.shardCoord(w, r)
+	if coord == nil {
+		return
+	}
+	var req shard.HeartbeatRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	if err := coord.Heartbeat(req); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleShardReport(w http.ResponseWriter, r *http.Request) {
+	coord := s.shardCoord(w, r)
+	if coord == nil {
+		return
+	}
+	// Reports carry record batches; give them real headroom.
+	var req shard.ReportRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad report: %v", err)
+		return
+	}
+	resp, err := coord.Report(req)
+	if err == shard.ErrBadLease {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -10,6 +10,7 @@ import (
 	"goofi/internal/core"
 	"goofi/internal/pinlevel"
 	"goofi/internal/scifi"
+	"goofi/internal/shard"
 	"goofi/internal/sqldb"
 	"goofi/internal/swifi"
 	"goofi/internal/telemetry"
@@ -46,6 +47,14 @@ type SubmitRequest struct {
 	// Retry policy knobs (both zero = legacy fail-fast semantics).
 	MaxRetries            int `json:"maxRetries,omitempty"`
 	BoardFailureThreshold int `json:"boardFailureThreshold,omitempty"`
+	// Shards above zero runs the campaign through the sharded path,
+	// partitioned into that many ranges. Zero inherits the daemon's
+	// -shards default (still zero = solo execution).
+	Shards int `json:"shards,omitempty"`
+	// ExternalWorkers leaves execution to `goofi shard-worker`
+	// processes attaching over HTTP instead of spawning in-process
+	// workers, one per shard.
+	ExternalWorkers bool `json:"externalWorkers,omitempty"`
 }
 
 // normalize fills the defaulted fields in place.
@@ -105,6 +114,9 @@ func (sr *SubmitRequest) validate() error {
 	default:
 		return fmt.Errorf("unknown target kind %q", sr.TargetKind)
 	}
+	if sr.Shards < 0 {
+		return fmt.Errorf("negative shard count %d", sr.Shards)
+	}
 	return nil
 }
 
@@ -161,9 +173,22 @@ type job struct {
 	state     string
 	errMsg    string
 	summary   *core.Summary
-	runner    *core.Runner
+	runner    *core.Runner       // solo path
+	coord     *shard.Coordinator // sharded path
+	shardStop func()             // stops a sharded run's workers and wait loop
 	prog      *telemetry.Progress
 	cancelled bool // user cancel (vs. daemon shutdown stop)
+}
+
+// stopWork halts whichever execution path the job is on. Callers hold
+// j.mu.
+func (j *job) stopWork() {
+	if j.runner != nil {
+		j.runner.Stop()
+	}
+	if j.shardStop != nil {
+		j.shardStop()
+	}
 }
 
 func (j *job) key() string { return jobKey(j.spec.Tenant, j.spec.Campaign.Name) }
@@ -275,6 +300,10 @@ func (s *Server) execute(ctx context.Context, j *job) {
 		return
 	}
 	j.mu.Unlock()
+	if spec.Shards > 0 {
+		s.executeSharded(ctx, j)
+		return
+	}
 	fail := func(err error) {
 		j.setState(StateFailed, err.Error())
 		s.markDurable(name, spec.Tenant, StateFailed)

@@ -35,6 +35,13 @@ type Config struct {
 	// CompactInterval sweeps idle tenant databases back into their
 	// snapshots this often (0 disables the sweeper).
 	CompactInterval time.Duration
+	// DefaultShards, when above zero, runs every submission that does
+	// not pick its own shard count through the sharded path with this
+	// many in-process workers (the `goofid -shards` knob).
+	DefaultShards int
+	// ShardHeartbeat is the lease heartbeat period for sharded
+	// campaigns (default shard.DefaultHeartbeat).
+	ShardHeartbeat time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -213,9 +220,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.markClosed()
 	for _, j := range s.jobList() {
 		j.mu.Lock()
-		if j.runner != nil {
-			j.runner.Stop()
-		}
+		j.stopWork()
 		j.mu.Unlock()
 	}
 	done := make(chan struct{})

@@ -1,0 +1,81 @@
+package shard
+
+// The coordinator/worker wire protocol. Everything is JSON over the
+// daemon's HTTP surface (POST /api/v1/shards/{tenant}/{name}/...), and
+// the same request/response structs drive the in-process Direct
+// transport, so a worker cannot tell one from the other.
+
+import (
+	"errors"
+	"time"
+
+	"goofi/internal/campaign"
+)
+
+// Lease outcomes.
+const (
+	// LeaseRange hands the worker a range to execute.
+	LeaseRange = "range"
+	// LeaseWait means no range is free right now (all leased out), but
+	// the campaign is not finished — poll again.
+	LeaseWait = "wait"
+	// LeaseDone means no work remains for this worker: the campaign is
+	// complete, or the worker has been quarantined.
+	LeaseDone = "done"
+)
+
+// ErrBadLease rejects a heartbeat or report whose lease the coordinator
+// no longer recognises — it expired and was requeued, or predates a
+// coordinator restart. The worker abandons the range and leases anew;
+// requeue plus ingest dedup keep the plan covered exactly once.
+var ErrBadLease = errors.New("shard: unknown or expired lease")
+
+// LeaseRequest asks for a range on behalf of a named worker.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse carries a granted range together with everything the
+// worker needs to execute it from a cold start: the campaign and target
+// definitions for its shard database, the technique, and the cadence
+// contract (heartbeat period, durable-cursor interval).
+type LeaseResponse struct {
+	Status  string `json:"status"`
+	LeaseID string `json:"leaseId,omitempty"`
+	Range   Range  `json:"range"`
+
+	Campaign  *campaign.Campaign         `json:"campaign,omitempty"`
+	Target    *campaign.TargetSystemData `json:"target,omitempty"`
+	Technique string                     `json:"technique,omitempty"`
+	// ImageBytes sizes swifi workload images (the submit-time knob).
+	ImageBytes int `json:"imageBytes,omitempty"`
+	// Checkpoint is the worker-side durable-cursor interval in
+	// experiments (0 keeps the worker's default, -1 disables).
+	Checkpoint int `json:"checkpoint,omitempty"`
+	// HeartbeatEvery is how often the worker must prove liveness while
+	// it holds the lease.
+	HeartbeatEvery time.Duration `json:"heartbeatEvery,omitempty"`
+}
+
+// HeartbeatRequest extends a lease.
+type HeartbeatRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"leaseId"`
+}
+
+// ReportRequest delivers a batch of logged records for a lease. Final
+// marks the last batch of the range; the coordinator flushes its ingest
+// queue and retires the lease on it.
+type ReportRequest struct {
+	Worker  string                       `json:"worker"`
+	LeaseID string                       `json:"leaseId"`
+	Records []*campaign.ExperimentRecord `json:"records"`
+	Final   bool                         `json:"final"`
+}
+
+// ReportResponse acknowledges a batch. Accepted counts the records
+// actually ingested; duplicates of already-merged sequences (requeue
+// races, repeated references) are dropped silently.
+type ReportResponse struct {
+	Accepted int `json:"accepted"`
+}

@@ -1,0 +1,118 @@
+package shard
+
+// Worker-side views of the coordinator: Direct for in-process shards
+// (the daemon's own worker pool) and HTTP for external `goofi
+// shard-worker` processes. Both carry the same request/response structs,
+// so the conformance suite can prove byte identity once and cover both.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Transport is how a worker reaches its coordinator.
+type Transport interface {
+	Lease(ctx context.Context, req LeaseRequest) (*LeaseResponse, error)
+	Heartbeat(ctx context.Context, req HeartbeatRequest) error
+	Report(ctx context.Context, req ReportRequest) (*ReportResponse, error)
+}
+
+// Direct is the in-process transport: method calls on the coordinator.
+type Direct struct {
+	C *Coordinator
+}
+
+func (d Direct) Lease(_ context.Context, req LeaseRequest) (*LeaseResponse, error) {
+	resp := d.C.Lease(req)
+	return &resp, nil
+}
+
+func (d Direct) Heartbeat(_ context.Context, req HeartbeatRequest) error {
+	return d.C.Heartbeat(req)
+}
+
+func (d Direct) Report(_ context.Context, req ReportRequest) (*ReportResponse, error) {
+	resp, err := d.C.Report(req)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// HTTPTransport speaks the daemon's shard endpoints.
+type HTTPTransport struct {
+	// Base is the daemon address, e.g. "http://127.0.0.1:7070".
+	Base string
+	// Tenant and Campaign select the sharded job.
+	Tenant, Campaign string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) post(ctx context.Context, action string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/api/v1/shards/%s/%s/%s", t.Base, t.Tenant, t.Campaign, action)
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	res, err := client.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode == http.StatusConflict || res.StatusCode == http.StatusNotFound {
+		// The daemon maps ErrBadLease (and a job it no longer tracks)
+		// onto these: the worker must abandon, not retry.
+		io.Copy(io.Discard, res.Body)
+		return ErrBadLease
+	}
+	if res.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(res.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = res.Status
+		}
+		return fmt.Errorf("shard: %s: %s", action, e.Error)
+	}
+	if resp == nil {
+		io.Copy(io.Discard, res.Body)
+		return nil
+	}
+	return json.NewDecoder(res.Body).Decode(resp)
+}
+
+func (t *HTTPTransport) Lease(ctx context.Context, req LeaseRequest) (*LeaseResponse, error) {
+	var resp LeaseResponse
+	if err := t.post(ctx, "lease", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) Heartbeat(ctx context.Context, req HeartbeatRequest) error {
+	var resp struct{}
+	return t.post(ctx, "heartbeat", req, &resp)
+}
+
+func (t *HTTPTransport) Report(ctx context.Context, req ReportRequest) (*ReportResponse, error) {
+	var resp ReportResponse
+	if err := t.post(ctx, "report", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,104 @@
+// Golden end-to-end test for sharded execution: the quickstart campaign
+// run through the daemon's sharded path (coordinator + in-process shard
+// workers) must render the exact analysis report stored in testdata/ —
+// the same file the solo quickstart run is pinned to. One golden file,
+// two execution strategies: if sharding shifts a single outcome, this
+// test diffs.
+package goofi_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"goofi/internal/analysis"
+	"goofi/internal/campaign"
+	"goofi/internal/server"
+	"goofi/internal/sqldb"
+)
+
+func TestQuickstartShardedReportGolden(t *testing.T) {
+	dir := t.TempDir()
+	s, err := server.New(server.Config{DataDir: dir, Boards: 4, MaxConcurrent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	camp := quickstartCampaign()
+	blob, err := json.Marshal(server.SubmitRequest{
+		Tenant: "golden", Campaign: camp, Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/campaigns", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		hr, err := http.Get(ts.URL + "/api/v1/campaigns/golden/quickstart")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st server.JobStatus
+		err = json.NewDecoder(hr.Body).Decode(&st)
+		hr.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == server.StateDone {
+			break
+		}
+		if st.State == server.StateFailed || st.State == server.StateCancelled {
+			t.Fatalf("sharded quickstart ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sharded quickstart stuck in %s", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := sqldb.OpenAt(filepath.Join(dir, "golden.db"), sqldb.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	store, err := campaign.NewStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analysis.AnalyzeAndStore(store, camp.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Render()
+
+	// Pinned to the solo quickstart golden on purpose; -update belongs to
+	// TestQuickstartReportGolden, which defines the ground truth.
+	golden := filepath.Join("testdata", "quickstart_report.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run TestQuickstartReportGolden with -update first)", err)
+	}
+	if got != string(want) {
+		t.Errorf("sharded quickstart report drifted from the solo golden.\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
