@@ -17,6 +17,7 @@ tier1:
 	$(GO) vet ./internal/core/ ./internal/thor/
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/ ./internal/thor/ ./internal/scifi/ . -run 'Snapshot|Forward' -count 1
+	$(GO) test -race ./internal/thor/ ./internal/trigger/ . -run 'FastPath|RunUntilFast|StepBurst|Placement' -count 1
 	$(GO) test -race ./internal/core/ ./internal/chaos/ . -run 'Chaos|Retry|Quarantine|Watchdog|Panic|InvalidRun|DrainsAndFlushes' -count 1
 	$(GO) test -race ./internal/telemetry/ . -run 'Telemetry|Registry|Prometheus|Handler|Progress' -count 1
 	$(GO) test -race ./internal/server/ ./internal/core/ ./internal/campaign/ -run 'Differential|Fleet|Tenant|Admission|Cancel|Submit' -count 1
@@ -56,6 +57,10 @@ race:
 # sequential CLI runs, plus per-submit API latency) into BENCH_PR6.json,
 # and the sharded-vs-solo comparison into BENCH_PR7.json (acceptance:
 # overhead_ratio <= 1.10 on one CPU, where no speedup is possible).
+# BENCH_PR8.json crosses checkpoint placement {interval, optimal} with
+# thor execution {fastpath, steppath} on the PID campaign (acceptance:
+# cycles_emulated_optimal <= cycles_emulated_interval — a deterministic
+# cycle count, never a wall-clock comparison).
 bench:
 	$(GO) test . -run xxx -bench . -benchtime 1x
 	$(GO) test . -run xxx -bench BenchmarkCampaignPID -benchtime 1x -count 3
@@ -64,6 +69,7 @@ bench:
 	$(GO) run ./cmd/goofi-bench -mode telemetry -reps 5 -o BENCH_PR5.json
 	$(GO) run ./cmd/goofi-bench -mode service -n 400 -reps 3 -o BENCH_PR6.json
 	$(GO) run ./cmd/goofi-bench -mode shard -n 2000 -reps 5 -o BENCH_PR7.json
+	$(GO) run ./cmd/goofi-bench -mode forward -reps 5 -o BENCH_PR8.json
 
 # fuzz runs each native Go fuzzer for a bounded time (override with
 # FUZZTIME=1m etc.). New corpus entries land in the build cache;

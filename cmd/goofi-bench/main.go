@@ -73,13 +73,15 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per configuration")
 	boards := flag.Int("boards", 1, "simulated boards")
 	seed := flag.Int64("seed", 1, "campaign seed")
-	mode := flag.String("mode", "forwarding", "comparison: forwarding, robustness, telemetry, service, or shard")
+	mode := flag.String("mode", "forwarding", "comparison: forwarding, robustness, telemetry, service, shard, or forward (placement x fastpath)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 	var err error
 	switch *mode {
 	case "forwarding":
 		err = run(*n, *reps, *boards, *seed, *out)
+	case "forward":
+		err = runForward(*n, *reps, *boards, *seed, *out)
 	case "robustness":
 		err = runRobustness(*n, *reps, *boards, *seed, *out)
 	case "telemetry":

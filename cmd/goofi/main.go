@@ -330,7 +330,7 @@ func cmdMerge(args []string) error {
 
 // targetFactory builds fresh target systems for a technique; the
 // algorithm registry key doubles as the target kind.
-func targetFactory(technique string) func() core.TargetSystem {
+func targetFactory(technique string, scifiOpts ...scifi.Option) func() core.TargetSystem {
 	return func() core.TargetSystem {
 		switch technique {
 		case "swifi-preruntime":
@@ -340,7 +340,7 @@ func targetFactory(technique string) func() core.TargetSystem {
 		case "pin-level":
 			return pinlevel.New(thor.DefaultConfig())
 		default:
-			return scifi.New(thor.DefaultConfig())
+			return scifi.New(thor.DefaultConfig(), scifiOpts...)
 		}
 	}
 }
@@ -515,6 +515,10 @@ func cmdRun(args []string) error {
 		"experiments between durable checkpoints (0 disables crash recovery)")
 	noFwd := fs.Bool("no-checkpoints", false,
 		"disable checkpoint fast-forwarding (every experiment replays the full fault-free prefix)")
+	placement := fs.String("forward-placement", core.PlacementInterval,
+		"checkpoint placement strategy: interval (evenly spaced over the injection window) or optimal (minimises expected re-emulation over the drawn injection plan)")
+	noFast := fs.Bool("no-fastpath", false,
+		"run every cycle through the cycle-accurate step path instead of thor's batched fast path (outcomes are identical either way; scifi technique only)")
 	quiet := fs.Bool("quiet", false, "suppress the progress line")
 	rf := addRobustFlags(fs)
 	tf := addTelemetryFlags(fs)
@@ -541,7 +545,11 @@ func cmdRun(args []string) error {
 	if !ok {
 		return fmt.Errorf("run: unknown technique %q", *technique)
 	}
-	factory := rf.wrapFactory(targetFactory(*technique))
+	var scifiOpts []scifi.Option
+	if *noFast {
+		scifiOpts = append(scifiOpts, scifi.NoFastPath())
+	}
+	factory := rf.wrapFactory(targetFactory(*technique, scifiOpts...))
 	// Batch LoggedSystemState writes: the scheduler flushes the sink at
 	// checkpoints and on termination, and Close drains it before save.
 	sink := campaign.NewBatchingSink(st, 0)
@@ -560,8 +568,14 @@ func cmdRun(args []string) error {
 	if *ckpt > 0 {
 		opts = append(opts, core.WithCheckpoints(*ckpt))
 	}
-	if *noFwd {
+	switch {
+	case *noFwd:
 		opts = append(opts, core.WithForwarding(core.ForwardConfig{Disabled: true}))
+	case *placement == core.PlacementOptimal:
+		opts = append(opts, core.WithForwarding(core.ForwardConfig{Placement: core.PlacementOptimal}))
+	case *placement != core.PlacementInterval:
+		return fmt.Errorf("run: unknown -forward-placement %q (want %q or %q)",
+			*placement, core.PlacementInterval, core.PlacementOptimal)
 	}
 	if !*quiet {
 		opts = append(opts, core.WithProgress(progressLine))
@@ -657,6 +671,10 @@ func finishCampaign(st *campaign.Store, db *sqldb.DB, sink *campaign.BatchingSin
 	if sum.Forwarded > 0 {
 		fmt.Printf("  fast-forwarded %d experiments: %d cycles emulated, %d saved by checkpoint restore\n",
 			sum.Forwarded, sum.CyclesEmulated, sum.CyclesSaved)
+	}
+	if sum.ForwardPlacement != "" {
+		fmt.Printf("  checkpoint placement %q: predicted re-emulation %d cycles, achieved %d\n",
+			sum.ForwardPlacement, sum.ForwardPredictedDelta, sum.ForwardDeltaCycles)
 	}
 	if sum.Retried > 0 || sum.InvalidRuns > 0 || sum.QuarantinedBoards > 0 {
 		fmt.Printf("  harness recovery: %d retries, %d invalid runs, %d boards quarantined\n",

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"goofi/internal/analysis"
@@ -116,4 +117,91 @@ func TestForwardingDifferential(t *testing.T) {
 			})
 		}
 	}
+}
+
+// runPlacement executes camp with the given checkpoint placement
+// strategy (deterministic snapshot pricing) and returns the summary and
+// experiment records.
+func runPlacement(t *testing.T, camp *campaign.Campaign, placement string) (*core.Summary, []string) {
+	t.Helper()
+	st, tsd := benchStore(t)
+	sum, _ := runCampaign(t, st, tsd, scifi.New(thor.DefaultConfig()), core.SCIFI, camp,
+		core.WithForwarding(core.ForwardConfig{
+			Placement: placement,
+			// A binding checkpoint budget is the regime placement matters
+			// in: with checkpoints to spare, interval spacing already puts
+			// one near every injection point.
+			MaxCheckpoints:     8,
+			SnapshotCostCycles: core.DefaultSnapshotCostCycles,
+		}))
+	recs, err := st.Experiments(camp.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]string, 0, len(recs))
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, string(b))
+	}
+	return sum, rows
+}
+
+// TestPlacementDifferential is the acceptance gate for the optimal
+// checkpoint planner: against interval placement on the same windowed
+// campaign, it must log byte-identical records (placement decides only
+// *where* checkpoints go, never what is observed) while emulating no
+// more cycles, and the summary must report the strategy plus its
+// predicted and achieved re-emulation deltas.
+func TestPlacementDifferential(t *testing.T) {
+	mk := func(name string) *campaign.Campaign {
+		c := pidCampaign(name, 14, 29)
+		c.RandomWindow = [2]uint64{200, 4000}
+		return c
+	}
+	intSum, intRecs := runPlacement(t, mk("placement-int"), core.PlacementInterval)
+	optSum, optRecs := runPlacement(t, mk("placement-opt"), core.PlacementOptimal)
+
+	if intSum.ForwardPlacement != core.PlacementInterval {
+		t.Errorf("interval summary reports placement %q", intSum.ForwardPlacement)
+	}
+	if optSum.ForwardPlacement != core.PlacementOptimal {
+		t.Errorf("optimal summary reports placement %q", optSum.ForwardPlacement)
+	}
+	if optSum.CyclesEmulated > intSum.CyclesEmulated {
+		t.Errorf("optimal placement emulated %d cycles, interval %d — planner regressed",
+			optSum.CyclesEmulated, intSum.CyclesEmulated)
+	}
+	if optSum.ForwardPredictedDelta == 0 || optSum.ForwardDeltaCycles == 0 {
+		t.Errorf("optimal summary missing deltas: predicted %d, achieved %d",
+			optSum.ForwardPredictedDelta, optSum.ForwardDeltaCycles)
+	}
+	// Achieved re-emulation can only exceed the prediction by capture
+	// overshoot (at most one instruction per checkpoint) plus the byte
+	// budget cutting recording short — neither applies on this small
+	// campaign, so achieved must not exceed predicted by more than the
+	// per-experiment overshoot bound.
+	overshootBound := optSum.ForwardPredictedDelta + uint64(optSum.Experiments)*32
+	if optSum.ForwardDeltaCycles > overshootBound {
+		t.Errorf("achieved delta %d far above predicted %d",
+			optSum.ForwardDeltaCycles, optSum.ForwardPredictedDelta)
+	}
+	if len(intRecs) != len(optRecs) {
+		t.Fatalf("record counts differ: interval %d, optimal %d", len(intRecs), len(optRecs))
+	}
+	// Records are logged under the campaign name, which differs between
+	// the two stores; normalize it away before comparing bytes.
+	for i := range intRecs {
+		a := strings.ReplaceAll(intRecs[i], "placement-int", "placement-X")
+		b := strings.ReplaceAll(optRecs[i], "placement-opt", "placement-X")
+		if a != b {
+			t.Errorf("record %d differs between placements\ninterval %s\noptimal  %s", i, a, b)
+		}
+	}
+	t.Logf("interval: emulated %d predicted-delta %d achieved-delta %d (%d checkpoints' worth)",
+		intSum.CyclesEmulated, intSum.ForwardPredictedDelta, intSum.ForwardDeltaCycles, intSum.Forwarded)
+	t.Logf("optimal:  emulated %d predicted-delta %d achieved-delta %d",
+		optSum.CyclesEmulated, optSum.ForwardPredictedDelta, optSum.ForwardDeltaCycles)
 }

@@ -262,7 +262,7 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 			refErr = fmt.Errorf("core: campaign %q reference: %w", r.camp.Name, lerr)
 		} else {
 			var recorded *ForwardSet
-			recorded, refErr = r.referenceRun(ctx, sum)
+			recorded, refErr = r.referenceRun(ctx, sum, planned)
 			if recorded != nil {
 				// A freshly recorded set supersedes any preset one.
 				fwSet = recorded
@@ -476,6 +476,18 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 							saved = ex.ForwardedFrom
 							emulated -= saved
 						}
+						// Achieved forwarding delta: for an injected
+						// experiment with a cycle-threshold trigger, the
+						// cycles re-emulated between the restore point
+						// (cycle 0 when cold) and the injection cycle —
+						// the quantity the placement planner minimises.
+						delta := uint64(0)
+						if at, byInstret, ok := qe.trig.ForwardPoint(); ok && !byInstret && ex.Injected {
+							delta = at
+							if ex.Forwarded && saved < at {
+								delta = at - saved
+							}
+						}
 						ev, snap := account(qe.seq, func() {
 							sum.Experiments++
 							if ex.Injected {
@@ -490,10 +502,12 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 								sum.CyclesSaved += saved
 							}
 							sum.CyclesEmulated += emulated
+							sum.ForwardDeltaCycles += delta
 						})
 						mCompleted.Inc()
 						mCyclesEmulated.Add(emulated)
 						mCyclesSaved.Add(saved)
+						mForwardDelta.Add(delta)
 						if ex.Forwarded {
 							mForwarded.Inc()
 							r.progress.Forwarded()
@@ -702,10 +716,27 @@ func installForwardSet(target TargetSystem, set *ForwardSet) {
 // referenceRun executes the campaign's fault-free reference run, with the
 // same watchdog/retry protection as the experiments when the policy is
 // on, and returns the recorded forward set (nil when the target does not
-// forward or recording was off).
-func (r *Runner) referenceRun(ctx context.Context, sum *Summary) (*ForwardSet, error) {
+// forward or recording was off). planned is the drawn injection plan,
+// which the optimal placement planner mines for its cycle histogram.
+func (r *Runner) referenceRun(ctx context.Context, sum *Summary, planned []plannedExperiment) (*ForwardSet, error) {
 	refTarget := r.boardTarget()
 	jitter := rand.New(rand.NewSource(expSeed(r.camp.Seed, -2)))
+	// The checkpoint plan is computed once, before the attempt loop: a
+	// retried reference must record at the same cycles the first attempt
+	// would have, so a retry stays observationally equivalent. The first
+	// target prices the snapshot cost when it can (the recorded state
+	// itself is placement-independent, so a calibration that varies with
+	// wall-clock speed never changes any logged byte).
+	var fwPlan *ForwardPlan
+	if _, ok := refTarget.(Forwarder); ok {
+		calib, _ := refTarget.(ForwardCalibrator)
+		fwPlan = r.forwardPlan(planned, calib)
+	}
+	if fwPlan != nil {
+		sum.ForwardPlacement = fwPlan.Placement
+		sum.ForwardPredictedDelta = fwPlan.PredictedDelta
+		mForwardPredicted.Set(int64(fwPlan.PredictedDelta))
+	}
 	for attempt := 1; ; attempt++ {
 		ref := r.newExperiment(-1, nil, trigger.Spec{})
 		var flushDetail func() error
@@ -713,12 +744,10 @@ func (r *Runner) referenceRun(ctx context.Context, sum *Summary) (*ForwardSet, e
 			flushDetail = r.bufferDetail(ref)
 		}
 		fwTarget, canForward := refTarget.(Forwarder)
-		if canForward {
+		if canForward && fwPlan != nil {
 			// Re-arming on every attempt resets any partial recording
 			// from a failed one.
-			if plan := r.forwardPlan(); plan != nil {
-				fwTarget.ArmForwardRecording(plan)
-			}
+			fwTarget.ArmForwardRecording(fwPlan)
 		}
 		err := r.execAttempt(ctx, refTarget, ref, attempt)
 		if err == nil && flushDetail != nil {

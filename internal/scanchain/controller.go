@@ -69,6 +69,20 @@ func NewController(dev Device) *Controller {
 // TAP exposes the underlying TAP for inspection in tests.
 func (c *Controller) TAP() *TAP { return c.tap }
 
+// Reset returns the controller to the exact state NewController leaves
+// it in — TAP reset and parked in Run-Test/Idle with the clock count a
+// fresh park produces, no fault hook, no in-flight shift — while
+// keeping the allocated scratch shift vector. The per-experiment
+// initTestCard path resets in place instead of allocating a new
+// controller (and its multi-kilobit scratch) for every experiment.
+func (c *Controller) Reset() {
+	c.tap.Reset()
+	c.tap.irShift = 0
+	c.tap.clocks = 0
+	c.faultHook = nil
+	c.park()
+}
+
 // park drives the controller to Run-Test/Idle from any state.
 func (c *Controller) park() {
 	for i := 0; i < 5; i++ {

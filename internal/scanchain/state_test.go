@@ -177,3 +177,46 @@ func TestBulkShiftMatchesBitSerial(t *testing.T) {
 		t.Errorf("TCK count differs: bulk %d, bit-serial %d", a, b)
 	}
 }
+
+// TestControllerResetMatchesFresh pins Controller.Reset to byte-for-byte
+// fresh-controller semantics: same TAP state, instruction, in-flight
+// shift registers, clock count (which lands in checkpoint snapshots via
+// StateSnapshot), and no lingering fault hook — while keeping the
+// allocated scratch vector.
+func TestControllerResetMatchesFresh(t *testing.T) {
+	dev := newFakeDevice()
+	c := NewController(dev)
+	// Dirty every piece of controller state a campaign can touch.
+	if _, err := c.ReadInternal(); err != nil {
+		t.Fatal(err)
+	}
+	c.SetScanFaultHook(func(v *bitvec.Vector) error { return nil })
+	c.tap.Clock(true, false) // leave Run-Test/Idle mid-sequence
+	c.Reset()
+
+	fresh := NewController(newFakeDevice())
+	if got, want := c.StateSnapshot(), fresh.StateSnapshot(); got != want {
+		t.Fatalf("reset state %+v != fresh state %+v", got, want)
+	}
+	if c.faultHook != nil {
+		t.Fatal("fault hook survived Reset")
+	}
+	if c.tap.irShift != 0 || c.tap.dr != nil {
+		t.Fatal("in-flight shift state survived Reset")
+	}
+	if c.scratch == nil {
+		t.Fatal("scratch vector was dropped by Reset (defeats the reuse)")
+	}
+	// And the reset controller must still drive scans identically.
+	a, err := c.ReadInternal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.ReadInternal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("post-reset scan differs from fresh controller scan")
+	}
+}

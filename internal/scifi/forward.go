@@ -46,6 +46,15 @@ type fwRecorder struct {
 	// checkpoint keeps the prefix recorded up to its capture.
 	exchangeLog [][]uint32
 	full        bool // byte budget exhausted; recording stopped
+	// tail is the provisional horizon-guard checkpoint: the newest
+	// boundary snapshot taken while later plan points were still
+	// pending. The planner cannot know where the reference run ends
+	// (iteration limits are workload-dependent), so plan points past
+	// the end are unrecordable; if any remain when recording stops, the
+	// guard is appended as a final checkpoint so injections beyond the
+	// horizon restore from just before it instead of from the last
+	// planned point that happened to fit.
+	tail *core.ForwardCheckpoint
 }
 
 // ArmForwardRecording implements core.Forwarder.
@@ -57,7 +66,26 @@ func (t *Target) ArmForwardRecording(plan *core.ForwardPlan) {
 func (t *Target) TakeForwardSet() *core.ForwardSet {
 	rec := t.fwRec
 	t.fwRec = nil
-	if rec == nil || len(rec.set.Checkpoints) == 0 {
+	if rec == nil {
+		return nil
+	}
+	// The reference run ended with plan points still pending: promote the
+	// horizon guard so injections beyond the recording horizon restore
+	// from the run's last boundary instead of from whichever earlier
+	// planned point happened to fit before it.
+	if rec.tail != nil && !rec.full && rec.idx < len(rec.plan.Cycles) {
+		last := uint64(0)
+		if n := len(rec.set.Checkpoints); n > 0 {
+			last = rec.set.Checkpoints[n-1].Cycle
+		}
+		if rec.tail.Cycle > last &&
+			(rec.plan.MaxBytes == 0 || rec.set.Bytes+rec.tail.Bytes <= rec.plan.MaxBytes) {
+			rec.set.Checkpoints = append(rec.set.Checkpoints, rec.tail)
+			rec.set.Bytes += rec.tail.Bytes
+			mFwRecorded.Inc()
+		}
+	}
+	if len(rec.set.Checkpoints) == 0 {
 		return nil
 	}
 	return rec.set
@@ -97,6 +125,10 @@ func (t *Target) fwMaybeRecord(ex *core.Experiment) {
 	rec := t.fwRec
 	cy := t.cpu.Cycle()
 	if cy < rec.plan.Cycles[rec.idx] {
+		// Not yet at the next planned point: refresh the horizon guard
+		// instead, in case the reference run terminates before reaching
+		// it. Only the newest guard is kept.
+		rec.tail = t.fwCapture(ex)
 		return
 	}
 	// Consume every plan point this boundary covers; one snapshot serves
@@ -104,12 +136,25 @@ func (t *Target) fwMaybeRecord(ex *core.Experiment) {
 	for rec.idx < len(rec.plan.Cycles) && rec.plan.Cycles[rec.idx] <= cy {
 		rec.idx++
 	}
-	snap, fresh := t.cpu.SnapshotSharing(rec.prev)
-	if rec.plan.MaxBytes > 0 && rec.set.Bytes+fresh > rec.plan.MaxBytes {
+	cp := t.fwCapture(ex)
+	if rec.plan.MaxBytes > 0 && rec.set.Bytes+cp.Bytes > rec.plan.MaxBytes {
 		rec.full = true
 		return
 	}
-	rec.prev = snap
+	rec.prev = cp.State.(*boardState).cpu
+	rec.tail = nil // superseded: the guard never trails a planned point
+	rec.set.Checkpoints = append(rec.set.Checkpoints, cp)
+	rec.set.Bytes += cp.Bytes
+	mFwRecorded.Inc()
+}
+
+// fwCapture builds a checkpoint of the current board state. Pages are
+// shared against the previous *planned* checkpoint; the caller decides
+// whether the capture joins the set immediately (a planned point) or
+// provisionally (the horizon guard).
+func (t *Target) fwCapture(ex *core.Experiment) *core.ForwardCheckpoint {
+	rec := t.fwRec
+	snap, fresh := t.cpu.SnapshotSharing(rec.prev)
 	bs := &boardState{
 		cpu:         snap,
 		ctrl:        t.ctrl.StateSnapshot(),
@@ -122,14 +167,12 @@ func (t *Target) fwMaybeRecord(ex *core.Experiment) {
 			bs.simState = ss.SnapshotState()
 		}
 	}
-	rec.set.Checkpoints = append(rec.set.Checkpoints, &core.ForwardCheckpoint{
+	return &core.ForwardCheckpoint{
 		Cycle:   snap.Cycle,
 		Instret: snap.Instret,
 		Bytes:   fresh,
 		State:   bs,
-	})
-	rec.set.Bytes += fresh
-	mFwRecorded.Inc()
+	}
 }
 
 // fwSliceBudget shrinks a run-slice budget so the reference run stops at

@@ -79,6 +79,12 @@ type Target struct {
 	// scanScratch is the reusable scan vector for the per-slice hot
 	// paths (persistent-fault reassertion, detail-mode state capture).
 	scanScratch *bitvec.Vector
+
+	// fastPath selects thor's batched execution mode for trigger waits
+	// and termination runs (byte-identical to cycle-accurate execution;
+	// see internal/thor/cpu_fastpath.go). On by default; NoFastPath
+	// turns it off for A/B benchmarking and differential suites.
+	fastPath bool
 }
 
 // Option configures a Target.
@@ -90,6 +96,7 @@ func New(cfg thor.Config, opts ...Option) *Target {
 		Framework: core.Framework{TargetName: "thor-s-board"},
 		cfg:       cfg,
 		envs:      envsim.NewRegistry(),
+		fastPath:  true,
 	}
 	for _, o := range opts {
 		o(t)
@@ -103,6 +110,14 @@ func New(cfg thor.Config, opts ...Option) *Target {
 // WithEnvRegistry replaces the environment simulator registry.
 func WithEnvRegistry(r *envsim.Registry) Option {
 	return func(t *Target) { t.envs = r }
+}
+
+// NoFastPath disables thor's batched fast-path execution and runs every
+// cycle through the cycle-accurate Step path. Outcomes are identical
+// either way (pinned by the differential suites); this exists for A/B
+// benchmarking and belt-and-braces verification runs.
+func NoFastPath() Option {
+	return func(t *Target) { t.fastPath = false }
 }
 
 // CPU exposes the underlying processor for tests and the pre-injection
@@ -149,12 +164,15 @@ func TargetSystemData(name string) *campaign.TargetSystemData {
 
 // InitTestCard resets the board: TAP and controller reset, CPU to
 // power-on state, memory cleared, per-experiment state discarded. The
-// controller is rebuilt before the CPU is reconfigured so no stale scan
-// traffic can touch the fresh CPU state, and trap handlers and
-// breakpoints — which survive a bare CPU reset — are cleared explicitly:
-// a reused board must behave identically to a fresh one.
+// controller is reset in place (byte-identical to a fresh controller,
+// pinned by TestControllerResetMatchesFresh, but without reallocating
+// its multi-kilobit scratch vector on the per-experiment hot path)
+// before the CPU is reconfigured so no stale scan traffic can touch the
+// fresh CPU state, and trap handlers and breakpoints — which survive a
+// bare CPU reset — are cleared explicitly: a reused board must behave
+// identically to a fresh one.
 func (t *Target) InitTestCard(ex *core.Experiment) error {
-	t.ctrl = scanchain.NewController(t.dev)
+	t.ctrl.Reset()
 	t.cpu.Reset()
 	t.cpu.ClearMemory()
 	t.cpu.ClearTrapHandlers()
@@ -257,7 +275,13 @@ func (t *Target) WaitForBreakpoint(ex *core.Experiment) error {
 	t.fwRestore(ex)
 	budget := ex.Campaign.Termination.TimeoutCycles
 	for {
-		fired, st := trigger.RunUntil(t.cpu, t.trig, remaining(budget, t.cpu.Cycle()))
+		var fired bool
+		var st thor.Status
+		if t.fastPath {
+			fired, st = trigger.RunUntilFast(t.cpu, t.trig, ex.Trigger, remaining(budget, t.cpu.Cycle()))
+		} else {
+			fired, st = trigger.RunUntil(t.cpu, t.trig, remaining(budget, t.cpu.Cycle()))
+		}
 		if fired {
 			ex.InjectionCycle = t.cpu.Cycle()
 			t.atInjectionPoint = true
@@ -341,7 +365,7 @@ func (t *Target) WaitForTermination(ex *core.Experiment) error {
 		// The slice budget is shaped so the run stops at the next
 		// planned cycle (a no-op outside a recording reference run).
 		t.fwMaybeRecord(ex)
-		st := t.cpu.Run(t.fwSliceBudget(ex, minU64(runSlice, term.TimeoutCycles-t.cpu.Cycle())))
+		st := t.runCPU(t.fwSliceBudget(ex, minU64(runSlice, term.TimeoutCycles-t.cpu.Cycle())))
 		switch st {
 		case thor.StatusHalted:
 			t.finishOutcome(ex, campaign.OutcomeCompleted, nil)
@@ -480,6 +504,14 @@ func (t *Target) captureState(ex *core.Experiment) (*campaign.StateVector, error
 		sv.Outputs = map[uint16][]uint32{wl.OutputPort: outs}
 	}
 	return sv, nil
+}
+
+// runCPU runs one execution slice through the selected execution mode.
+func (t *Target) runCPU(cycleBudget uint64) thor.Status {
+	if t.fastPath {
+		return t.cpu.RunFast(cycleBudget)
+	}
+	return t.cpu.Run(cycleBudget)
 }
 
 func remaining(budget, used uint64) uint64 {

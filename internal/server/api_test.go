@@ -196,9 +196,13 @@ func TestAdmissionControl(t *testing.T) {
 	s, ts := newTestServer(t, Config{Boards: 1, MaxConcurrent: 1, QueueDepth: 1})
 	defer shutdownServer(t, s)
 
-	// First campaign occupies the single runner slot...
+	// First campaign occupies the single runner slot. It is cancelled at
+	// the end, never run to completion, so it can be made long enough
+	// that it cannot finish (and free its slot) while the admission
+	// checks below are still in flight — the fast path made 2000
+	// experiments a matter of milliseconds.
 	resp, body := postJSON(t, ts.URL+"/api/v1/campaigns", SubmitRequest{
-		Tenant: "alice", Campaign: testCampaign("a", 2000),
+		Tenant: "alice", Campaign: testCampaign("a", 100000),
 	})
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit a = %d: %s", resp.StatusCode, body)
@@ -227,7 +231,7 @@ func TestAdmissionControl(t *testing.T) {
 
 	// Resubmitting a live campaign is a conflict, not a new job.
 	resp, _ = postJSON(t, ts.URL+"/api/v1/campaigns", SubmitRequest{
-		Tenant: "alice", Campaign: testCampaign("a", 2000),
+		Tenant: "alice", Campaign: testCampaign("a", 100000),
 	})
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate submit = %d, want 409", resp.StatusCode)

@@ -200,6 +200,15 @@ type CPU struct {
 	breakpoints  map[uint32]bool
 	skipBPOnce   bool
 
+	// Predecoded-instruction cache mirroring the icache: idec[li] holds
+	// the decoded forms of the words in icache line li. A line is live
+	// only when its gen matches decGen, ok is set, and its tag matches
+	// the icache line's tag; any write that can change icache contents
+	// bumps decGen (global) or clears ok (per line). Used exclusively by
+	// the fast path — Step never consults it.
+	idec   [CacheLines]decLine
+	decGen uint64
+
 	ports *PortSet
 	pins  Pins
 	force PinForce
@@ -256,6 +265,7 @@ func (c *CPU) Reset() {
 	c.pins = Pins{}
 	c.force = PinForce{}
 	c.ports.Reset()
+	c.decGen++
 }
 
 // ClearMemory zeroes all physical memory.
@@ -311,8 +321,10 @@ func (c *CPU) AddBreakpoint(addr uint32) { c.breakpoints[addr] = true }
 // RemoveBreakpoint disarms a breakpoint.
 func (c *CPU) RemoveBreakpoint(addr uint32) { delete(c.breakpoints, addr) }
 
-// ClearBreakpoints removes every breakpoint.
-func (c *CPU) ClearBreakpoints() { c.breakpoints = make(map[uint32]bool) }
+// ClearBreakpoints removes every breakpoint. The map is cleared in
+// place rather than reallocated: campaigns clear it once per experiment,
+// and reusing the buckets keeps the per-experiment reset allocation-free.
+func (c *CPU) ClearBreakpoints() { clear(c.breakpoints) }
 
 // errOutOfRange is a sentinel for memory range violations inside access
 // helpers; it is converted to an EDM by the caller.
@@ -360,6 +372,7 @@ func (c *CPU) WriteWord32(addr, w uint32) error {
 	// SWIFI mutations are visible even if a stale line exists.
 	c.dcache.update(addr, w)
 	c.icache.update(addr, w)
+	c.decGen++
 	return nil
 }
 
@@ -426,6 +439,11 @@ func (c *CPU) cachedRead(ca *cache, addr uint32, parityEDM EDM) (uint32, bool) {
 		}
 	}
 	ca.fill(addr, line)
+	if ca == &c.icache {
+		// The icache line changed; its predecoded mirror is stale.
+		li, _, _ := ca.index(addr)
+		c.idec[li].ok = false
+	}
 	w, _, parityErr := ca.lookup(addr)
 	if parityErr {
 		// Cannot happen right after a fill, but stay defensive: a
@@ -536,14 +554,26 @@ func (c *CPU) Step() Status {
 	if !ok {
 		return c.status
 	}
-	in := Decode(w)
+	return c.execDecoded(Decode(w))
+}
+
+// branchTarget computes the pc-relative branch destination for the
+// instruction currently at PC.
+func (c *CPU) branchTarget(imm int32) uint32 {
+	return uint32(int64(c.PC) + 4 + int64(imm)*4)
+}
+
+// execDecoded validates and executes one decoded instruction whose fetch
+// has already happened (and been charged). It is the shared execution
+// core of Step and the batched fast path: both must retire instructions
+// with bit-identical effects.
+func (c *CPU) execDecoded(in Instr) Status {
 	if !in.Op.Valid() {
 		c.detect(EDMIllegalOp, in.Op.String())
 		return c.status
 	}
 	c.cycle += opTable[in.Op].cycles
 	nextPC := c.PC + 4
-	branchTo := func(imm int32) { nextPC = uint32(int64(c.PC) + 4 + int64(imm)*4) }
 
 	switch in.Op {
 	case OpNOP:
@@ -654,33 +684,33 @@ func (c *CPU) Step() Status {
 		c.subWithFlags(c.Regs[in.Rs1], uint32(in.SImm()))
 	case OpBEQ:
 		if c.Flags.Z {
-			branchTo(in.SImm())
+			nextPC = c.branchTarget(in.SImm())
 		}
 	case OpBNE:
 		if !c.Flags.Z {
-			branchTo(in.SImm())
+			nextPC = c.branchTarget(in.SImm())
 		}
 	case OpBLT:
 		if c.Flags.N != c.Flags.V {
-			branchTo(in.SImm())
+			nextPC = c.branchTarget(in.SImm())
 		}
 	case OpBGE:
 		if c.Flags.N == c.Flags.V {
-			branchTo(in.SImm())
+			nextPC = c.branchTarget(in.SImm())
 		}
 	case OpBGT:
 		if !c.Flags.Z && c.Flags.N == c.Flags.V {
-			branchTo(in.SImm())
+			nextPC = c.branchTarget(in.SImm())
 		}
 	case OpBLE:
 		if c.Flags.Z || c.Flags.N != c.Flags.V {
-			branchTo(in.SImm())
+			nextPC = c.branchTarget(in.SImm())
 		}
 	case OpBRA:
-		branchTo(in.SImm())
+		nextPC = c.branchTarget(in.SImm())
 	case OpCALL:
 		c.Regs[RegLR] = c.PC + 4
-		branchTo(in.SImm())
+		nextPC = c.branchTarget(in.SImm())
 	case OpJR:
 		nextPC = c.Regs[in.Rs1]
 	case OpPUSH:
@@ -752,7 +782,13 @@ func (c *CPU) Run(cycleBudget uint64) Status {
 	}
 	start := c.cycle
 	for c.status == StatusRunning {
-		if c.breakpoints[c.PC] && !c.skipBPOnce {
+		// Hoist the map lookup when no breakpoints are armed (the common
+		// campaign case): len() is re-read every iteration because a
+		// TraceHook may install breakpoints mid-run. When the set is
+		// empty the lookup is trivially false, so skipping it (and
+		// unconditionally clearing skipBPOnce, which only matters when a
+		// breakpoint is armed at PC) is behaviour-preserving.
+		if len(c.breakpoints) != 0 && c.breakpoints[c.PC] && !c.skipBPOnce {
 			c.status = StatusBreakpoint
 			return c.status
 		}
@@ -787,5 +823,6 @@ func (c *CPU) CacheStats() (iHits, iMisses, dHits, dMisses uint64) {
 // onto the buses.
 func (c *CPU) PinForceActive() bool { return c.force.Active }
 
-// ClearTrapHandlers removes every installed trap handler.
-func (c *CPU) ClearTrapHandlers() { c.trapHandlers = make(map[uint16]uint32) }
+// ClearTrapHandlers removes every installed trap handler, reusing the
+// map's buckets (see ClearBreakpoints).
+func (c *CPU) ClearTrapHandlers() { clear(c.trapHandlers) }

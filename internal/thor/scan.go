@@ -167,6 +167,7 @@ func (c *CPU) ScanWrite(v *bitvec.Vector) error {
 	}
 	get() // cpu.cycle: read-only
 	get() // cpu.instret: read-only
+	c.decGen++
 	return nil
 }
 

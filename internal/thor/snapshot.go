@@ -182,5 +182,6 @@ func (c *CPU) Restore(s *Snapshot) error {
 	} else {
 		c.ports.Reset()
 	}
+	c.decGen++
 	return nil
 }

@@ -1,0 +1,83 @@
+package trigger
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRunUntilFastDifferential drives RunUntil and RunUntilFast over
+// every trigger kind and a spread of thresholds/budgets and requires
+// identical firing decisions, statuses, and CPU counters.
+func TestRunUntilFastDifferential(t *testing.T) {
+	specs := []Spec{
+		{Kind: "cycle", Cycle: 1},
+		{Kind: "cycle", Cycle: 57},
+		{Kind: "cycle", Cycle: 1_000},
+		{Kind: "cycle", Cycle: 10_000_000}, // beyond program end
+		{Kind: "instret", Count: 1},
+		{Kind: "instret", Count: 10},
+		{Kind: "instret", Count: 113},
+		{Kind: "rtc", Period: 40, Occurrence: 3},
+		{Kind: "breakpoint", Addr: 8, Occurrence: 5},  // non-monotonic: fast == plain RunUntil
+		{Kind: "data-access", Addr: 0, Occurrence: 2}, // matched lazily against var below
+		{Kind: "branch", Occurrence: 7},
+		{Kind: "call", Occurrence: 1},
+	}
+	budgets := []uint64{3, 50, 333, 1_000_000}
+	for si, spec := range specs {
+		for _, budget := range budgets {
+			t.Run(fmt.Sprintf("spec%d/budget%d", si, budget), func(t *testing.T) {
+				cSlow, prog := loadCPU(t)
+				cFast, _ := loadCPU(t)
+				if spec.Kind == "data-access" {
+					spec.Addr = prog.MustSymbol("var")
+				}
+				trSlow := build(t, spec)
+				trFast := build(t, spec)
+				fired1, st1 := RunUntil(cSlow, trSlow, budget)
+				fired2, st2 := RunUntilFast(cFast, trFast, spec, budget)
+				if fired1 != fired2 || st1 != st2 {
+					t.Fatalf("fired/status (%v,%v) != (%v,%v)", fired1, st1, fired2, st2)
+				}
+				if cSlow.Cycle() != cFast.Cycle() || cSlow.Instret() != cFast.Instret() {
+					t.Fatalf("cycle/instret (%d,%d) != (%d,%d)",
+						cSlow.Cycle(), cSlow.Instret(), cFast.Cycle(), cFast.Instret())
+				}
+				if cSlow.PC != cFast.PC || cSlow.Regs != cFast.Regs {
+					t.Fatalf("pc/regs diverged: %#x vs %#x", cSlow.PC, cFast.PC)
+				}
+				if !cSlow.ScanRead().Equal(cFast.ScanRead()) {
+					t.Fatal("scan chains differ")
+				}
+			})
+		}
+	}
+}
+
+// TestRunUntilFastResumesAcrossBudgets re-runs a trigger wait in many
+// small budget slices, the way the campaign scheduler does, and checks
+// each slice boundary.
+func TestRunUntilFastResumesAcrossBudgets(t *testing.T) {
+	spec := Spec{Kind: "cycle", Cycle: 137}
+	cSlow, _ := loadCPU(t)
+	cFast, _ := loadCPU(t)
+	trSlow := build(t, spec)
+	trFast := build(t, spec)
+	for slice := 0; slice < 40; slice++ {
+		fired1, st1 := RunUntil(cSlow, trSlow, 7)
+		fired2, st2 := RunUntilFast(cFast, trFast, spec, 7)
+		if fired1 != fired2 || st1 != st2 {
+			t.Fatalf("slice %d: (%v,%v) != (%v,%v)", slice, fired1, st1, fired2, st2)
+		}
+		if cSlow.Cycle() != cFast.Cycle() {
+			t.Fatalf("slice %d: cycle %d != %d", slice, cSlow.Cycle(), cFast.Cycle())
+		}
+		if fired1 {
+			if cSlow.Cycle() < 137 {
+				t.Fatalf("fired early at %d", cSlow.Cycle())
+			}
+			return
+		}
+	}
+	t.Fatal("trigger never fired across slices")
+}

@@ -130,6 +130,61 @@ func RunUntil(c *thor.CPU, tr Trigger, budget uint64) (fired bool, st thor.Statu
 	}
 }
 
+// RunUntilFast is RunUntil with batched fast-path execution. It applies
+// only to cycle-monotonic triggers (spec.ForwardPoint ok): for those,
+// Fired is a pure, side-effect-free threshold compare on the cycle or
+// instruction counter, so between the current counter value and the
+// threshold the per-instruction Fired/budget checks provably evaluate
+// to false and can be skipped — the CPU bursts through that span with
+// thor.StepBurst. Near the threshold (and for every non-monotonic
+// trigger) execution is cycle-accurate RunUntil, so firing positions,
+// statuses, and all architectural state are byte-identical.
+//
+// The equivalence argument, precisely: before every instruction inside
+// a burst of chunk = min(at-counter, budget-used) cycles, (a) the CPU
+// is running (StepBurst's loop condition), (b) the counter is strictly
+// below at — for cycle triggers because cycle < burstStart+chunk ≤ at;
+// for instret triggers because each instruction retires 1 instret and
+// costs ≥1 cycle, so instret < instret0+chunk = at while the cycle
+// budget lasts — hence Fired would return false, and (c) cycles used
+// stay strictly below budget because chunk was capped by the remainder.
+// All three skipped checks are therefore no-ops at every skipped point.
+func RunUntilFast(c *thor.CPU, tr Trigger, spec Spec, budget uint64) (fired bool, st thor.Status) {
+	at, byInstret, ok := spec.ForwardPoint()
+	if !ok {
+		return RunUntil(c, tr, budget)
+	}
+	start := c.Cycle()
+	for {
+		if st := c.Status(); st != thor.StatusRunning {
+			return false, st
+		}
+		if tr.Fired(c) {
+			return true, c.Status()
+		}
+		used := c.Cycle() - start
+		if used >= budget {
+			return false, c.Status()
+		}
+		counter := c.Cycle()
+		if byInstret {
+			counter = c.Instret()
+		}
+		if counter >= at {
+			// The spec says the trigger has passed its threshold but
+			// Fired disagreed (mismatched tr/spec pair): stay safe and
+			// cycle-accurate.
+			c.Step()
+			continue
+		}
+		chunk := at - counter
+		if rem := budget - used; chunk > rem {
+			chunk = rem
+		}
+		c.StepBurst(chunk)
+	}
+}
+
 type cycleTrigger struct {
 	at   uint64
 	name string
