@@ -11,7 +11,10 @@ FUZZTIME ?= 15s
 # layer is all goroutine coordination (watchdogs, pull queue, breaker).
 # The telemetry line pins the observability invariants: the registry's
 # concurrent hot path, the exposition format, and the differential proof
-# that instrumentation never changes LoggedSystemState.
+# that instrumentation never changes LoggedSystemState. The netchaos
+# line is the partition-tolerance pin: sharded campaigns crossing a
+# seeded hostile network (drops, dup deliveries, truncation, full and
+# asymmetric partitions, worker auth) must stay byte-identical to solo.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./internal/core/ ./internal/thor/
@@ -22,6 +25,7 @@ tier1:
 	$(GO) test -race ./internal/telemetry/ . -run 'Telemetry|Registry|Prometheus|Handler|Progress' -count 1
 	$(GO) test -race ./internal/server/ ./internal/core/ ./internal/campaign/ -run 'Differential|Fleet|Tenant|Admission|Cancel|Submit' -count 1
 	$(GO) test -race ./internal/shard/ ./internal/core/ . -run 'Shard|Partition|Coalesce' -count 1
+	$(GO) test -race ./internal/shard/ ./internal/chaos/ -run 'NetChaos|NetRoundTripper|NetMaxFaults|NetDeterministic|Transport|Unauthorized|Delivery|Churn' -count 1
 	$(GO) test -race ./...
 
 # tier2 is the crash-safety suite: the WAL crash-injection and resume

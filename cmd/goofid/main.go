@@ -33,6 +33,8 @@ func main() {
 		drain         = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before campaigns are cut off")
 		shards        = flag.Int("shards", 0, "run every campaign sharded across this many in-process workers unless the submission picks its own count (0 = solo)")
 		shardBeat     = flag.Duration("shard-heartbeat", 0, "shard lease heartbeat period (0 = built-in default)")
+		shardTTL      = flag.Duration("shard-lease-ttl", 0, "shard lease expiry without a heartbeat; must be >= 2 heartbeats (0 = 3x heartbeat)")
+		shardToken    = flag.String("shard-token", "", "shared bearer token external shard workers must present (empty = open)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,8 @@ func main() {
 		CompactInterval: *compactEvery,
 		DefaultShards:   *shards,
 		ShardHeartbeat:  *shardBeat,
+		ShardLeaseTTL:   *shardTTL,
+		ShardToken:      *shardToken,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "goofid:", err)

@@ -12,3 +12,18 @@ var (
 	mFaultsScanRead  = mFaults.With("scan-read")
 	mFaultsScanWrite = mFaults.With("scan-write")
 )
+
+// Network-fault counter by kind, for the shard-transport chaos engine
+// (net.go). Partition drops are counted here but not charged against
+// the probabilistic MaxFaults budget — partitions are scripted.
+var mNetFaults = telemetry.NewCounterVec("goofi_chaos_net_faults_total",
+	"Network faults injected by the shard-transport chaos engine, by kind.", "kind")
+
+var (
+	mNetFaultsDropReq   = mNetFaults.With("drop-request")
+	mNetFaultsDropResp  = mNetFaults.With("drop-response")
+	mNetFaultsDelay     = mNetFaults.With("delay")
+	mNetFaultsDup       = mNetFaults.With("duplicate")
+	mNetFaultsTruncate  = mNetFaults.With("truncate")
+	mNetFaultsPartition = mNetFaults.With("partition")
+)

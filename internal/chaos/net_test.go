@@ -1,0 +1,186 @@
+package chaos
+
+// Unit pins for the network fault engine's HTTP face: each fault kind
+// at probability 1 so the behaviour is exact, plus the budget and the
+// seeded-determinism contract. The end-to-end behaviour (a whole
+// sharded campaign across a faulted transport staying byte-identical)
+// lives in internal/shard's netchaos conformance suite.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// netServer counts requests and echoes a fixed JSON body.
+func netServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte(`{"accepted":12}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func netClient(n *Net) *http.Client {
+	return &http.Client{Transport: n.RoundTripper(nil)}
+}
+
+func postReport(t *testing.T, c *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/api/v1/shards/t/c/report",
+		bytes.NewReader([]byte(`{"worker":"w"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Do(req)
+}
+
+func TestNetRoundTripperDropRequest(t *testing.T) {
+	ts, hits := netServer(t)
+	c := netClient(NewNet(NetConfig{Seed: 1, DropRequestProb: 1}))
+	if _, err := postReport(t, c, ts.URL); err == nil {
+		t.Fatal("dropped request returned no error")
+	}
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("server saw %d requests for a dropped one, want 0", got)
+	}
+}
+
+func TestNetRoundTripperDropResponse(t *testing.T) {
+	ts, hits := netServer(t)
+	c := netClient(NewNet(NetConfig{Seed: 1, DropResponseProb: 1}))
+	if _, err := postReport(t, c, ts.URL); err == nil {
+		t.Fatal("dropped response returned no error")
+	}
+	// The far side processed the call — that is what distinguishes a
+	// lost ack from a lost request, and what the delivery key covers.
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (processed, ack lost)", got)
+	}
+}
+
+func TestNetRoundTripperDuplicate(t *testing.T) {
+	ts, hits := netServer(t)
+	c := netClient(NewNet(NetConfig{Seed: 1, DuplicateProb: 1}))
+	res, err := postReport(t, c, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d deliveries of a duplicated report, want 2", got)
+	}
+
+	// Only report/heartbeat calls are duplicated; a lease is not.
+	hits.Store(0)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/shards/t/c/lease",
+		bytes.NewReader([]byte(`{}`)))
+	res, err = c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d deliveries of a lease, want 1 (not dup-eligible)", got)
+	}
+}
+
+func TestNetRoundTripperTruncate(t *testing.T) {
+	ts, _ := netServer(t)
+	c := netClient(NewNet(NetConfig{Seed: 1, TruncateProb: 1}))
+	res, err := postReport(t, c, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := `{"accepted":12}`
+	if string(b) != full[:len(full)/2] {
+		t.Fatalf("truncated body = %q, want first half of %q", b, full)
+	}
+}
+
+func TestNetRoundTripperPartitions(t *testing.T) {
+	ts, hits := netServer(t)
+	n := NewNet(NetConfig{Seed: 1})
+	c := netClient(n)
+
+	n.PartitionFull()
+	if _, err := postReport(t, c, ts.URL); err == nil {
+		t.Fatal("full partition let a request through")
+	}
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("server saw %d requests across a full partition, want 0", got)
+	}
+
+	n.PartitionAsym()
+	if _, err := postReport(t, c, ts.URL); err == nil {
+		t.Fatal("asymmetric partition returned a response")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests across an asym partition, want 1", got)
+	}
+
+	n.Heal()
+	res, err := postReport(t, c, ts.URL)
+	if err != nil {
+		t.Fatalf("healed network still failing: %v", err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if n.Faults() != 2 {
+		t.Fatalf("Faults() = %d after two partition drops, want 2", n.Faults())
+	}
+}
+
+func TestNetMaxFaultsBudget(t *testing.T) {
+	ts, _ := netServer(t)
+	c := netClient(NewNet(NetConfig{Seed: 1, DropRequestProb: 1, MaxFaults: 2}))
+	for i := 0; i < 2; i++ {
+		if _, err := postReport(t, c, ts.URL); err == nil {
+			t.Fatalf("call %d: budget not yet spent but no fault", i)
+		}
+	}
+	res, err := postReport(t, c, ts.URL)
+	if err != nil {
+		t.Fatalf("budget exhausted but call still faulted: %v", err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+}
+
+func TestNetDeterministicSchedule(t *testing.T) {
+	ts, _ := netServer(t)
+	cfg := NetConfig{Seed: 42, DropRequestProb: 0.3, DropResponseProb: 0.2, TruncateProb: 0.2}
+	schedule := func() []bool {
+		c := netClient(NewNet(cfg))
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			res, err := postReport(t, c, ts.URL)
+			if err == nil {
+				io.Copy(io.Discard, res.Body)
+				res.Body.Close()
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := schedule(), schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: same seed diverged (%v vs %v)", i, a[i], b[i])
+		}
+	}
+}

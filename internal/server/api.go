@@ -9,10 +9,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"crypto/subtle"
 	"net/http/pprof"
 	"os"
 	"path"
 	"sort"
+	"strings"
 
 	"goofi/internal/analysis"
 	"goofi/internal/campaign"
@@ -64,11 +66,13 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /api/v1/campaigns/{tenant}/{name}/cancel", s.handleControl)
 	mux.HandleFunc("GET /api/v1/campaigns/{tenant}/{name}/results", s.handleResults)
 
-	// Shard protocol: external `goofi shard-worker` processes lease
-	// ranges of a sharded campaign, prove liveness, and report records.
-	mux.HandleFunc("POST /api/v1/shards/{tenant}/{name}/lease", s.handleShardLease)
-	mux.HandleFunc("POST /api/v1/shards/{tenant}/{name}/heartbeat", s.handleShardHeartbeat)
-	mux.HandleFunc("POST /api/v1/shards/{tenant}/{name}/report", s.handleShardReport)
+	// Shard protocol: external `goofi shard-worker` processes register,
+	// lease ranges of a sharded campaign, prove liveness, and report
+	// records. All four calls sit behind the shared-token gate.
+	mux.HandleFunc("POST /api/v1/shards/{tenant}/{name}/hello", s.shardAuth(s.handleShardHello))
+	mux.HandleFunc("POST /api/v1/shards/{tenant}/{name}/lease", s.shardAuth(s.handleShardLease))
+	mux.HandleFunc("POST /api/v1/shards/{tenant}/{name}/heartbeat", s.shardAuth(s.handleShardHeartbeat))
+	mux.HandleFunc("POST /api/v1/shards/{tenant}/{name}/report", s.shardAuth(s.handleShardReport))
 
 	// The PR 5 introspection endpoints, merged into the daemon so one
 	// listener serves both the API and the telemetry.
@@ -310,6 +314,38 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		resp.Records = recs
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardAuth gates the shard protocol behind the daemon's shared worker
+// token. With no token configured every worker is welcome (single-host
+// deployments). With one, the comparison is constant-time and a miss is
+// 401 — which the shard client maps to the terminal ErrUnauthorized, so
+// a misconfigured worker exits instead of hammering the daemon, and an
+// in-flight campaign served by authorized workers never notices.
+func (s *Server) shardAuth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.ShardToken != "" {
+			token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(token), []byte(s.cfg.ShardToken)) != 1 {
+				writeErr(w, http.StatusUnauthorized, "shard worker not authorized")
+				return
+			}
+		}
+		next(w, r)
+	}
+}
+
+func (s *Server) handleShardHello(w http.ResponseWriter, r *http.Request) {
+	coord := s.shardCoord(w, r)
+	if coord == nil {
+		return
+	}
+	var req shard.HelloRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad hello: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, coord.Hello(req))
 }
 
 // shardCoord resolves the live coordinator of a sharded job, or answers

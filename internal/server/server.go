@@ -18,6 +18,7 @@ import (
 
 	"goofi/internal/campaign"
 	"goofi/internal/core"
+	"goofi/internal/shard"
 	"goofi/internal/sqldb"
 )
 
@@ -42,6 +43,15 @@ type Config struct {
 	// ShardHeartbeat is the lease heartbeat period for sharded
 	// campaigns (default shard.DefaultHeartbeat).
 	ShardHeartbeat time.Duration
+	// ShardLeaseTTL is how long a lease survives without a heartbeat
+	// (default 3×ShardHeartbeat). Must be at least two heartbeats — a
+	// smaller TTL would let a single delayed beat expire healthy leases,
+	// so New rejects it at startup instead of failing every sharded job.
+	ShardLeaseTTL time.Duration
+	// ShardToken, when set, requires external shard workers to present
+	// it as a bearer token on every shard call; mismatches get 401.
+	// In-process workers bypass HTTP entirely and are unaffected.
+	ShardToken string
 }
 
 func (c *Config) setDefaults() {
@@ -82,6 +92,9 @@ type Server struct {
 // data directory, then begins draining the queue.
 func New(cfg Config) (*Server, error) {
 	cfg.setDefaults()
+	if err := validateShardTiming(cfg.ShardHeartbeat, cfg.ShardLeaseTTL); err != nil {
+		return nil, err
+	}
 	tenants, err := campaign.NewTenantDBs(cfg.DataDir, sqldb.SyncBarrier)
 	if err != nil {
 		return nil, err
@@ -152,6 +165,22 @@ func (s *Server) sweep() {
 			_, _ = s.tenants.CompactIdle(s.cfg.CompactInterval)
 		}
 	}
+}
+
+// validateShardTiming mirrors the coordinator's TTL/heartbeat floor at
+// daemon startup, so a misconfigured deployment fails its boot rather
+// than every sharded campaign it accepts.
+func validateShardTiming(beat, ttl time.Duration) error {
+	if ttl <= 0 {
+		return nil // coordinator default: 3×beat, always valid
+	}
+	if beat <= 0 {
+		beat = shard.DefaultHeartbeat
+	}
+	if ttl < 2*beat {
+		return fmt.Errorf("server: shard lease TTL %v < 2 heartbeats of %v — one lost beat would expire healthy leases", ttl, beat)
+	}
+	return nil
 }
 
 var (

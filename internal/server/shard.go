@@ -89,6 +89,7 @@ func (s *Server) executeSharded(ctx context.Context, j *job) {
 		Shards:         spec.Shards,
 		Checkpoint:     spec.Checkpoint,
 		HeartbeatEvery: s.cfg.ShardHeartbeat,
+		LeaseTTL:       s.cfg.ShardLeaseTTL,
 	})
 	if err != nil {
 		fail(err)
@@ -97,6 +98,23 @@ func (s *Server) executeSharded(ctx context.Context, j *job) {
 	prog := telemetry.NewProgress(s.fleet.Capacity())
 	prog.Start(name, camp.NumExperiments)
 	prog.SetPhase("sharded")
+	// Surface the worker fleet (registration, leases, heartbeat age) in
+	// /progress snapshots for as long as the coordinator lives.
+	prog.SetWorkersFn(func() []telemetry.WorkerStatus {
+		fleet := coord.Fleet()
+		out := make([]telemetry.WorkerStatus, len(fleet))
+		for i, ws := range fleet {
+			out[i] = telemetry.WorkerStatus{
+				Name:        ws.Name,
+				Host:        ws.Host,
+				Quarantined: ws.Quarantined,
+				Leases:      ws.Leases,
+				Failures:    ws.Failures,
+				LastBeatAge: ws.LastBeatAge,
+			}
+		}
+		return out
+	})
 	merged, _ := coord.Progress()
 	prog.AddDone(merged)
 

@@ -19,6 +19,7 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -32,6 +33,11 @@ const DefaultHeartbeat = 500 * time.Millisecond
 // DefaultMaxWorkerFailures quarantines a worker after this many expired
 // leases (the PR 4 board-failure threshold lifted to shard level).
 const DefaultMaxWorkerFailures = 3
+
+// maxDeliveries bounds the report-delivery idempotency cache. Entries
+// evict FIFO; 4096 covers every in-flight batch of any plausible fleet
+// many times over (a worker holds at most a handful of unacked batches).
+const maxDeliveries = 4096
 
 // CoordinatorConfig wires a coordinator to a campaign.
 type CoordinatorConfig struct {
@@ -57,6 +63,12 @@ type CoordinatorConfig struct {
 	// MaxWorkerFailures quarantines a worker after this many expired
 	// leases (default DefaultMaxWorkerFailures).
 	MaxWorkerFailures int
+	// MinTTLRatio is the validated floor of LeaseTTL/HeartbeatEvery
+	// (default 2). A TTL under two beats means a single delayed or
+	// dropped heartbeat expires a healthy lease — a misconfiguration on
+	// any real network — so NewCoordinator rejects it outright instead
+	// of letting the deployment discover it as spurious requeues.
+	MinTTLRatio int
 	// QueueDepth bounds the ingest batcher (default 8 batches).
 	QueueDepth int
 	// NowFunc is the clock (test hook; default time.Now).
@@ -68,6 +80,15 @@ type lease struct {
 	worker  string
 	rng     Range
 	expires time.Time
+}
+
+// workerInfo is what the coordinator remembers about a fleet member:
+// when it appeared, when it last proved liveness, and where it came
+// from. Liveness updates on every hello, lease, heartbeat and report.
+type workerInfo struct {
+	host       string
+	registered time.Time
+	lastBeat   time.Time
 }
 
 // Coordinator runs the shard protocol for one campaign. All methods are
@@ -83,10 +104,17 @@ type Coordinator struct {
 	haveRef  bool
 	failures map[string]int
 	quarant  map[string]bool
+	workers  map[string]*workerInfo
 	leaseSeq int
 	closed   bool
 	doneCh   chan struct{}
 	stopCh   chan struct{}
+
+	// deliveries caches the acknowledgement of every keyed report batch
+	// (FIFO-evicted at maxDeliveries) so a retried delivery is re-acked,
+	// not re-processed. delivOrder tracks insertion for eviction.
+	deliveries map[string]ReportResponse
+	delivOrder []string
 
 	sweeper sync.WaitGroup
 }
@@ -109,8 +137,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = DefaultHeartbeat
 	}
+	if cfg.MinTTLRatio <= 0 {
+		cfg.MinTTLRatio = 2
+	}
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = 3 * cfg.HeartbeatEvery
+	}
+	if cfg.LeaseTTL < time.Duration(cfg.MinTTLRatio)*cfg.HeartbeatEvery {
+		return nil, fmt.Errorf("shard: lease TTL %v < %d heartbeats of %v — one lost beat would expire healthy leases",
+			cfg.LeaseTTL, cfg.MinTTLRatio, cfg.HeartbeatEvery)
 	}
 	if cfg.MaxWorkerFailures <= 0 {
 		cfg.MaxWorkerFailures = DefaultMaxWorkerFailures
@@ -123,14 +158,16 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:      cfg,
-		bat:      newBatcher(cfg.Store, cfg.QueueDepth),
-		leases:   make(map[string]*lease),
-		accepted: make(map[int]bool),
-		failures: make(map[string]int),
-		quarant:  make(map[string]bool),
-		doneCh:   make(chan struct{}),
-		stopCh:   make(chan struct{}),
+		cfg:        cfg,
+		bat:        newBatcher(cfg.Store, cfg.QueueDepth),
+		leases:     make(map[string]*lease),
+		accepted:   make(map[int]bool),
+		failures:   make(map[string]int),
+		quarant:    make(map[string]bool),
+		workers:    make(map[string]*workerInfo),
+		deliveries: make(map[string]ReportResponse),
+		doneCh:     make(chan struct{}),
+		stopCh:     make(chan struct{}),
 	}
 	for _, seq := range cp.Completed {
 		c.accepted[seq] = true
@@ -184,10 +221,73 @@ func (c *Coordinator) complete() bool {
 		len(c.pending) == 0 && len(c.leases) == 0
 }
 
+// touchWorker records liveness for a worker, creating its fleet entry
+// on first contact. Callers hold c.mu.
+func (c *Coordinator) touchWorker(name string, now time.Time) *workerInfo {
+	w := c.workers[name]
+	if w == nil {
+		w = &workerInfo{registered: now}
+		c.workers[name] = w
+	}
+	w.lastBeat = now
+	return w
+}
+
+// Hello registers a worker with the fleet before it leases any work.
+// Registration is advisory for the lease protocol but it is the call on
+// which an external worker discovers a bad token, and it makes the
+// fleet visible in /progress from the first connection.
+func (c *Coordinator) Hello(req HelloRequest) HelloResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.touchWorker(req.Worker, c.cfg.NowFunc())
+	if req.Host != "" {
+		w.host = req.Host
+	}
+	return HelloResponse{Status: "ok", Workers: len(c.workers)}
+}
+
+// WorkerStatus is one fleet member's view in Fleet().
+type WorkerStatus struct {
+	Name        string  `json:"name"`
+	Host        string  `json:"host,omitempty"`
+	Quarantined bool    `json:"quarantined"`
+	Leases      int     `json:"leases"`
+	Failures    int     `json:"failures"`
+	LastBeatAge float64 `json:"last_beat_seconds"`
+}
+
+// Fleet reports every worker the coordinator has heard from, sorted by
+// name, with its live lease count, expiry tally and heartbeat age —
+// the membership view /progress serves for a sharded job.
+func (c *Coordinator) Fleet() []WorkerStatus {
+	now := c.cfg.NowFunc()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	held := make(map[string]int, len(c.leases))
+	for _, l := range c.leases {
+		held[l.worker]++
+	}
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for name, w := range c.workers {
+		out = append(out, WorkerStatus{
+			Name:        name,
+			Host:        w.host,
+			Quarantined: c.quarant[name],
+			Leases:      held[name],
+			Failures:    c.failures[name],
+			LastBeatAge: now.Sub(w.lastBeat).Seconds(),
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out
+}
+
 // Lease grants the next pending range to a worker.
 func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.touchWorker(req.Worker, c.cfg.NowFunc())
 	c.sweepLocked(c.cfg.NowFunc())
 	if c.closed || c.quarant[req.Worker] {
 		// A quarantined worker is retired exactly like a failed board:
@@ -229,11 +329,13 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 func (c *Coordinator) Heartbeat(req HeartbeatRequest) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.cfg.NowFunc()
+	c.touchWorker(req.Worker, now)
 	l := c.leases[req.LeaseID]
 	if l == nil || l.worker != req.Worker {
 		return ErrBadLease
 	}
-	l.expires = c.cfg.NowFunc().Add(c.cfg.LeaseTTL)
+	l.expires = now.Add(c.cfg.LeaseTTL)
 	return nil
 }
 
@@ -244,12 +346,30 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) error {
 // a final report flushes it so retiring a range implies durability.
 func (c *Coordinator) Report(req ReportRequest) (ReportResponse, error) {
 	c.mu.Lock()
+	now := c.cfg.NowFunc()
+	c.touchWorker(req.Worker, now)
+	if req.Delivery != "" {
+		if resp, ok := c.deliveries[req.Delivery]; ok {
+			// A retried delivery of a batch that already landed: the
+			// response was lost (timeout, reset, asymmetric partition),
+			// not the request. Acknowledge from the cache — even when the
+			// lease is gone, because a retried *final* report retired it
+			// the first time through — and count it as a beat when the
+			// lease still lives.
+			if l := c.leases[req.LeaseID]; l != nil && l.worker == req.Worker {
+				l.expires = now.Add(c.cfg.LeaseTTL)
+			}
+			c.mu.Unlock()
+			mDelivDeduped.Inc()
+			return resp, nil
+		}
+	}
 	l := c.leases[req.LeaseID]
 	if l == nil || l.worker != req.Worker {
 		c.mu.Unlock()
 		return ReportResponse{}, ErrBadLease
 	}
-	l.expires = c.cfg.NowFunc().Add(c.cfg.LeaseTTL) // a report is a heartbeat
+	l.expires = now.Add(c.cfg.LeaseTTL) // a report is a heartbeat
 	name := c.cfg.Campaign.Name
 	refName := campaign.ReferenceName(name)
 	// takenNames are end records accepted from this batch; trace rows
@@ -310,10 +430,31 @@ func (c *Coordinator) Report(req ReportRequest) (ReportResponse, error) {
 		}
 		c.mu.Unlock()
 	}
+	resp := ReportResponse{Accepted: len(ingest)}
+	if req.Delivery != "" {
+		// Only a fully processed (and, for final reports, durably
+		// flushed) delivery is cached; an errored one must re-process.
+		c.mu.Lock()
+		c.cacheDeliveryLocked(req.Delivery, resp)
+		c.mu.Unlock()
+	}
 	if done {
 		c.finish()
 	}
-	return ReportResponse{Accepted: len(ingest)}, nil
+	return resp, nil
+}
+
+// cacheDeliveryLocked remembers a delivery's acknowledgement, evicting
+// the oldest entry past maxDeliveries. Callers hold c.mu.
+func (c *Coordinator) cacheDeliveryLocked(key string, resp ReportResponse) {
+	if _, ok := c.deliveries[key]; !ok {
+		c.delivOrder = append(c.delivOrder, key)
+		if len(c.delivOrder) > maxDeliveries {
+			delete(c.deliveries, c.delivOrder[0])
+			c.delivOrder = c.delivOrder[1:]
+		}
+	}
+	c.deliveries[key] = resp
 }
 
 // requeueLocked returns a lease's unmerged sequences to the pending

@@ -257,10 +257,27 @@ func TestShardExactlyOnceUnderChurn(t *testing.T) {
 					for s := l.cursor; s < hi; s++ {
 						recs = append(recs, simRecord(name, s))
 					}
-					if _, err := coord.Report(ReportRequest{
+					req := ReportRequest{
 						Worker: w, LeaseID: l.resp.LeaseID, Records: recs, Final: true,
-					}); err != nil && err != ErrBadLease {
+						Delivery: fmt.Sprintf("%s/%s/%d", w, l.resp.LeaseID, iter),
+					}
+					ack, err := coord.Report(req)
+					if err != nil && err != ErrBadLease {
 						t.Fatal(err)
+					}
+					// A network-level retry of a final report that already
+					// landed arrives after the lease was retired. The delivery
+					// cache must re-ack it identically — not bounce it with
+					// ErrBadLease, not merge it twice.
+					if err == nil && rng.Intn(2) == 0 {
+						ack2, err2 := coord.Report(req)
+						if err2 != nil {
+							t.Fatalf("retried final delivery %q: %v", req.Delivery, err2)
+						}
+						if ack2 != ack {
+							t.Fatalf("retried final delivery %q acked %+v, first ack %+v",
+								req.Delivery, ack2, ack)
+						}
 					}
 					delete(held, w)
 				default: // stream a chunk, sometimes re-sending older seqs
@@ -280,15 +297,30 @@ func TestShardExactlyOnceUnderChurn(t *testing.T) {
 					for s := lo; s < hi; s++ {
 						recs = append(recs, simRecord(name, s))
 					}
-					_, err := coord.Report(ReportRequest{
+					req := ReportRequest{
 						Worker: w, LeaseID: l.resp.LeaseID, Records: recs,
-					})
+						Delivery: fmt.Sprintf("%s/%s/%d", w, l.resp.LeaseID, iter),
+					}
+					ack, err := coord.Report(req)
 					switch {
 					case err == ErrBadLease:
 						delete(held, w)
 					case err != nil:
 						t.Fatal(err)
 					default:
+						// Duplicated delivery: the same request lands again
+						// (lost ack, duplicating network) and must be re-acked
+						// from the cache with the identical response.
+						if rng.Intn(3) == 0 {
+							ack2, err2 := coord.Report(req)
+							if err2 != nil {
+								t.Fatalf("retried delivery %q: %v", req.Delivery, err2)
+							}
+							if ack2 != ack {
+								t.Fatalf("retried delivery %q acked %+v, first ack %+v",
+									req.Delivery, ack2, ack)
+							}
+						}
 						if hi > l.cursor {
 							l.cursor = hi
 						}

@@ -30,6 +30,24 @@ const (
 // requeue plus ingest dedup keep the plan covered exactly once.
 var ErrBadLease = errors.New("shard: unknown or expired lease")
 
+// HelloRequest registers a worker with the coordinator before it leases
+// any work. Registration is advisory — a worker the coordinator has
+// never heard of can still lease — but it makes the fleet visible in
+// /progress from the moment a worker connects, and it is the cheapest
+// call on which to discover a bad token.
+type HelloRequest struct {
+	Worker string `json:"worker"`
+	// Host is the worker's self-reported host, for fleet display.
+	Host string `json:"host,omitempty"`
+}
+
+// HelloResponse acknowledges a registration.
+type HelloResponse struct {
+	Status string `json:"status"`
+	// Workers is how many workers the coordinator currently knows.
+	Workers int `json:"workers"`
+}
+
 // LeaseRequest asks for a range on behalf of a named worker.
 type LeaseRequest struct {
 	Worker string `json:"worker"`
@@ -71,6 +89,14 @@ type ReportRequest struct {
 	LeaseID string                       `json:"leaseId"`
 	Records []*campaign.ExperimentRecord `json:"records"`
 	Final   bool                         `json:"final"`
+	// Delivery is the batch's idempotency key. The coordinator's merge
+	// was always idempotent (the two-pass filter drops already-accepted
+	// sequences); the key makes the *acknowledgement* idempotent too: a
+	// retried delivery whose first copy already landed — a response lost
+	// to a timeout, reset, or asymmetric partition — is answered from
+	// the coordinator's delivery cache instead of re-processed, so the
+	// worker stops re-sending. Empty keys skip the cache.
+	Delivery string `json:"delivery,omitempty"`
 }
 
 // ReportResponse acknowledges a batch. Accepted counts the records

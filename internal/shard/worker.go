@@ -13,7 +13,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"goofi/internal/campaign"
@@ -51,6 +53,14 @@ type WorkerConfig struct {
 type Worker struct {
 	cfg     WorkerConfig
 	carried *core.ForwardSet
+	// delivSeq numbers report deliveries so every batch gets a unique
+	// idempotency key; retries of the same batch reuse the same key.
+	delivSeq atomic.Int64
+}
+
+// delivery mints the idempotency key for one report batch of a lease.
+func (w *Worker) delivery(leaseID string) string {
+	return fmt.Sprintf("%s/%s/%d", w.cfg.Name, leaseID, w.delivSeq.Add(1))
 }
 
 // NewWorker validates the config and builds a worker.
@@ -194,12 +204,23 @@ func (w *Worker) Run(ctx context.Context) error {
 		return err
 	}
 	defer tenants.Close()
+	// Register with the fleet. Registration is advisory (the coordinator
+	// learns of us at lease time regardless) so transient failures are
+	// ignored — but a 401 is terminal: the token is wrong and every
+	// later call would bounce the same way.
+	host, _ := os.Hostname()
+	if _, err := w.cfg.Transport.Hello(ctx, HelloRequest{Worker: w.cfg.Name, Host: host}); err == ErrUnauthorized {
+		return err
+	}
 	backoff := w.cfg.Poll
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		resp, err := w.cfg.Transport.Lease(ctx, LeaseRequest{Worker: w.cfg.Name})
+		if err == ErrUnauthorized {
+			return err
+		}
 		if err != nil {
 			// The coordinator may be restarting; keep knocking.
 			if !sleep(ctx, backoff) {
@@ -291,7 +312,7 @@ func (w *Worker) runRange(ctx context.Context, tenants *campaign.TenantDBs, leas
 			err := w.cfg.Transport.Heartbeat(ctx, HeartbeatRequest{
 				Worker: w.cfg.Name, LeaseID: lease.LeaseID,
 			})
-			if err == ErrBadLease {
+			if err == ErrBadLease || err == ErrUnauthorized {
 				loseLease()
 				return
 			}
@@ -317,8 +338,9 @@ func (w *Worker) runRange(ctx context.Context, tenants *campaign.TenantDBs, leas
 				}
 				_, err := w.cfg.Transport.Report(ctx, ReportRequest{
 					Worker: w.cfg.Name, LeaseID: lease.LeaseID, Records: recs,
+					Delivery: w.delivery(lease.LeaseID),
 				})
-				if err == ErrBadLease {
+				if err == ErrBadLease || err == ErrUnauthorized {
 					loseLease()
 					return
 				}
@@ -454,9 +476,13 @@ func (w *Worker) report(ctx context.Context, st *campaign.Store, lease *LeaseRes
 	}
 	var batch []*campaign.ExperimentRecord
 	send := func(final bool) error {
+		// One idempotency key per batch, minted before the retry loop:
+		// every retry of this batch replays the same key, so a delivery
+		// whose first acknowledgement was lost is re-acked, not re-merged.
 		req := ReportRequest{
 			Worker: w.cfg.Name, LeaseID: lease.LeaseID,
 			Records: batch, Final: final,
+			Delivery: w.delivery(lease.LeaseID),
 		}
 		backoff := w.cfg.Poll
 		for {
@@ -464,6 +490,9 @@ func (w *Worker) report(ctx context.Context, st *campaign.Store, lease *LeaseRes
 			if err == nil {
 				batch = batch[:0]
 				return nil
+			}
+			if err == ErrUnauthorized {
+				return err
 			}
 			if err == ErrBadLease || ctx.Err() != nil {
 				return ErrBadLease

@@ -38,6 +38,8 @@ type Progress struct {
 	forwarded atomic.Int64
 
 	boards []*boardSlot
+
+	workersFn atomic.Value // func() []WorkerStatus
 }
 
 // NewProgress returns a tracker for a campaign with the given board
@@ -126,6 +128,26 @@ func (p *Progress) setBoard(board int, state int32, seq int) {
 	p.boards[board].state.Store(state)
 }
 
+// WorkerStatus is one shard worker's state in a snapshot: who it is,
+// where it runs, and how stale its last heartbeat is. The shard layer
+// fills these in via SetWorkersFn; telemetry only carries them.
+type WorkerStatus struct {
+	Name        string  `json:"name"`
+	Host        string  `json:"host,omitempty"`
+	Quarantined bool    `json:"quarantined"`
+	Leases      int     `json:"leases"`
+	Failures    int     `json:"failures"`
+	LastBeatAge float64 `json:"last_beat_seconds"`
+}
+
+// SetWorkersFn installs a callback that materializes the worker fleet
+// for snapshots (a sharded campaign's coordinator). Safe on nil.
+func (p *Progress) SetWorkersFn(fn func() []WorkerStatus) {
+	if p != nil && fn != nil {
+		p.workersFn.Store(fn)
+	}
+}
+
 // BoardStatus is one board's state in a snapshot.
 type BoardStatus struct {
 	Board int    `json:"board"`
@@ -147,6 +169,9 @@ type ProgressSnapshot struct {
 	RecordsPerSecond float64       `json:"records_per_second"`
 	ETASeconds       float64       `json:"eta_seconds"`
 	Boards           []BoardStatus `json:"boards"`
+	// Workers is the shard-worker fleet, present only for sharded
+	// campaigns (populated through SetWorkersFn).
+	Workers []WorkerStatus `json:"workers,omitempty"`
 }
 
 // Snapshot materializes the current state. ETA extrapolates linearly
@@ -184,6 +209,9 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 			st = 0
 		}
 		s.Boards[i] = BoardStatus{Board: i, State: boardStateNames[st], Seq: int(b.seq.Load())}
+	}
+	if fn, ok := p.workersFn.Load().(func() []WorkerStatus); ok {
+		s.Workers = fn()
 	}
 	return s
 }
