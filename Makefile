@@ -26,6 +26,7 @@ tier1:
 	$(GO) test -race ./internal/server/ ./internal/core/ ./internal/campaign/ -run 'Differential|Fleet|Tenant|Admission|Cancel|Submit' -count 1
 	$(GO) test -race ./internal/shard/ ./internal/core/ . -run 'Shard|Partition|Coalesce' -count 1
 	$(GO) test -race ./internal/shard/ ./internal/chaos/ -run 'NetChaos|NetRoundTripper|NetMaxFaults|NetDeterministic|Transport|Unauthorized|Delivery|Churn' -count 1
+	$(GO) test -race ./internal/proctarget/ ./internal/core/ -run 'Proc|Framework|TargetRegistry|TargetDeterministic' -count 1
 	$(GO) test -race ./...
 
 # tier2 is the crash-safety suite: the WAL crash-injection and resume
@@ -65,6 +66,10 @@ race:
 # thor execution {fastpath, steppath} on the PID campaign (acceptance:
 # cycles_emulated_optimal <= cycles_emulated_interval — a deterministic
 # cycle count, never a wall-clock comparison).
+# BENCH_PR10.json measures the live-process (ptrace) target: 500 seeded
+# experiments against the matmul victim — experiments/sec, the
+# outcome-class distribution, and plan-hash identity across reps
+# (acceptance: plan_identical_across_reps == true).
 bench:
 	$(GO) test . -run xxx -bench . -benchtime 1x
 	$(GO) test . -run xxx -bench BenchmarkCampaignPID -benchtime 1x -count 3
@@ -74,6 +79,7 @@ bench:
 	$(GO) run ./cmd/goofi-bench -mode service -n 400 -reps 3 -o BENCH_PR6.json
 	$(GO) run ./cmd/goofi-bench -mode shard -n 2000 -reps 5 -o BENCH_PR7.json
 	$(GO) run ./cmd/goofi-bench -mode forward -reps 5 -o BENCH_PR8.json
+	$(GO) run ./cmd/goofi-bench -mode proc -n 500 -reps 3 -o BENCH_PR10.json
 
 # fuzz runs each native Go fuzzer for a bounded time (override with
 # FUZZTIME=1m etc.). New corpus entries land in the build cache;

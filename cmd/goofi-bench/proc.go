@@ -1,0 +1,188 @@
+// The proc mode measures the live-process injection target: a seeded
+// campaign of register faults against the matmul example victim, each
+// experiment a real fork/ptrace/inject/classify cycle. The blob reports
+// experiments per second and the outcome-class distribution, and checks
+// that the fault plan hash is identical across repetitions — the
+// replay contract a nondeterministic target still has to honour.
+
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/faultmodel"
+	"goofi/internal/proctarget"
+	"goofi/internal/sqldb"
+	"goofi/internal/trigger"
+)
+
+// procResult is the BENCH_PR10 blob.
+type procResult struct {
+	Benchmark            string         `json:"benchmark"`
+	Date                 string         `json:"date"`
+	CPUs                 int            `json:"cpus"`
+	Experiments          int            `json:"experiments"`
+	Boards               int            `json:"boards"`
+	Reps                 int            `json:"reps"`
+	WallMS               []float64      `json:"wall_ms"`
+	ExperimentsPerSecond float64        `json:"experiments_per_second"`
+	OutcomeClasses       map[string]int `json:"outcome_classes"`
+	PlanHash             string         `json:"plan_hash"`
+	PlanIdentical        bool           `json:"plan_identical_across_reps"`
+}
+
+// buildVictim compiles the matmul example victim into a temp dir.
+func buildVictim() (string, func(), error) {
+	dir, err := os.MkdirTemp("", "goofi-bench-victim-")
+	if err != nil {
+		return "", nil, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	bin := filepath.Join(dir, "matmul")
+	cmd := exec.Command("go", "build", "-o", bin, "./examples/victims/matmul")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		cleanup()
+		return "", nil, fmt.Errorf("build victim: %v\n%s", err, out)
+	}
+	return bin, cleanup, nil
+}
+
+// procCampaign defines the benchmark campaign: single-bit transient
+// register faults in a short single-step window, 1s watchdog.
+func procCampaign(victim string, n int, seed int64) *campaign.Campaign {
+	return &campaign.Campaign{
+		Name:           "bench-proc",
+		TargetName:     "proc-board",
+		ChainName:      proctarget.RegisterChainName,
+		Locations:      []string{"gpr"},
+		FaultModel:     faultmodel.Spec{Kind: faultmodel.Transient, Multiplicity: 1},
+		Trigger:        trigger.Spec{Kind: "cycle"},
+		RandomWindow:   [2]uint64{1, 200},
+		NumExperiments: n,
+		Seed:           seed,
+		Termination:    campaign.Termination{TimeoutCycles: 1_000_000}, // 1s watchdog
+		Workload:       campaign.WorkloadSpec{Name: "victim:matmul", Source: victim},
+		LogMode:        campaign.LogNormal,
+	}
+}
+
+// runProcOnce executes one proc campaign on a fresh in-memory store.
+func runProcOnce(victim string, n, boards int, seed int64) (float64, *core.Summary, error) {
+	st, err := campaign.NewStore(sqldb.Open())
+	if err != nil {
+		return 0, nil, err
+	}
+	info, ok := core.LookupTarget(proctarget.Kind)
+	if !ok {
+		return 0, nil, fmt.Errorf("proc target not registered")
+	}
+	cfg := core.TargetConfig{Params: map[string]string{"victim": victim}}
+	tsd, err := info.SystemData("proc-board", cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := st.PutTargetSystem(tsd); err != nil {
+		return 0, nil, err
+	}
+	camp := procCampaign(victim, n, seed)
+	if err := st.PutCampaign(camp); err != nil {
+		return 0, nil, err
+	}
+	factory := func() core.TargetSystem {
+		ts, err := info.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return ts
+	}
+	sink := campaign.NewBatchingSink(st, 0)
+	r, err := core.NewRunner(factory(), core.Algorithms()[info.Algorithm], camp, tsd,
+		core.WithSink(sink), core.WithBoards(boards, factory))
+	if err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := sink.Close(); err != nil {
+		return 0, nil, err
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, sum, nil
+}
+
+func runProc(n, reps, boards int, seed int64, out string) error {
+	victim, cleanup, err := buildVictim()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	if err := proctarget.Probe(victim); err != nil {
+		return fmt.Errorf("ptrace unavailable here, proc bench cannot run: %w", err)
+	}
+	res := procResult{
+		Benchmark:   "BenchmarkCampaignProc",
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		CPUs:        runtime.NumCPU(),
+		Experiments: n,
+		Boards:      boards,
+		Reps:        reps,
+	}
+	// Untimed warmup: first spawn pays one-off costs (victim page cache,
+	// reference-stdout memoisation).
+	if _, _, err := runProcOnce(victim, min(n, 20), boards, seed); err != nil {
+		return err
+	}
+	for rep := 0; rep < reps; rep++ {
+		wall, sum, err := runProcOnce(victim, n, boards, seed)
+		if err != nil {
+			return err
+		}
+		res.WallMS = append(res.WallMS, wall)
+		if rep == 0 {
+			res.PlanHash = sum.PlanHash
+			res.PlanIdentical = true
+			res.OutcomeClasses = make(map[string]int)
+			for st, c := range sum.ByStatus {
+				res.OutcomeClasses[string(st)] = c
+			}
+		} else if sum.PlanHash != res.PlanHash {
+			res.PlanIdentical = false
+		}
+	}
+	// Throughput from the median wall time.
+	sorted := append([]float64(nil), res.WallMS...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	median := sorted[len(sorted)/2]
+	if median > 0 {
+		res.ExperimentsPerSecond = float64(n) / (median / 1000)
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	fmt.Printf("proc: %d experiments, median %.1fms (%.1f exp/s), outcomes %v, plan identical: %v (%s)\n",
+		n, median, res.ExperimentsPerSecond, res.OutcomeClasses, res.PlanIdentical, out)
+	return os.WriteFile(out, blob, 0o644)
+}

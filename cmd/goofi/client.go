@@ -90,9 +90,11 @@ func cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
 	srvAddr := fs.String("server", "127.0.0.1:7077", "goofid address")
 	tenant := fs.String("tenant", "default", "tenant namespace")
-	kind := fs.String("kind", "", "target kind: scifi, swifi, pinlevel (default from technique)")
+	kind := fs.String("kind", "", "target kind (see 'goofi targets'; default from technique)")
 	imageBytes := fs.Int("image-bytes", 4096, "workload image size (swifi targets)")
-	technique := fs.String("technique", "scifi", "injection technique: scifi, swifi-preruntime, swifi-runtime, pin-level")
+	params := paramFlags{}
+	fs.Var(params, "target-param", "target-specific key=value parameter (repeatable)")
+	technique := fs.String("technique", "", "injection algorithm: scifi, swifi-preruntime, swifi-runtime, pin-level (default: the target's own)")
 	boards := fs.Int("boards", 1, "boards this campaign may lease from the shared fleet")
 	ckpt := fs.Int("checkpoint", 0, "durable-cursor interval in experiments (0 = daemon default, -1 disables)")
 	noFwd := fs.Bool("no-forward", false, "disable checkpoint fast-forwarding")
@@ -110,11 +112,17 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
 	}
+	if *cf.victim != "" {
+		// The daemon configures the target server-side; it needs the
+		// victim path to lay out the proc target's memory chain.
+		params["victim"] = *cf.victim
+	}
 	req := server.SubmitRequest{
 		Tenant:                *tenant,
 		Campaign:              camp,
 		TargetKind:            *kind,
 		ImageBytes:            *imageBytes,
+		TargetParams:          params,
 		Technique:             *technique,
 		Boards:                *boards,
 		Checkpoint:            *ckpt,

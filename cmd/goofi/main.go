@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -36,15 +37,19 @@ import (
 	"goofi/internal/chaos"
 	"goofi/internal/core"
 	"goofi/internal/faultmodel"
-	"goofi/internal/pinlevel"
 	"goofi/internal/preinject"
-	"goofi/internal/scifi"
 	"goofi/internal/sqldb"
-	"goofi/internal/swifi"
 	"goofi/internal/telemetry"
 	"goofi/internal/thor"
 	"goofi/internal/trigger"
 	"goofi/internal/workload"
+
+	// Registered target systems. Blank imports run each package's
+	// RegisterTarget init; the CLI reaches them only via the registry.
+	_ "goofi/internal/pinlevel"
+	_ "goofi/internal/proctarget"
+	_ "goofi/internal/scifi"
+	_ "goofi/internal/swifi"
 )
 
 func main() {
@@ -67,6 +72,7 @@ commands:
   list       list stored targets and campaigns
   schema     print the GOOFI database schema (Fig 4)
   workloads  list built-in workloads
+  targets    list registered target systems
 
 daemon client (talks to a running goofid):
   submit       submit a campaign to a goofid daemon
@@ -102,6 +108,8 @@ func run(args []string) error {
 		return cmdSchema(rest)
 	case "workloads":
 		return cmdWorkloads(rest)
+	case "targets":
+		return cmdTargets(rest)
 	case "submit":
 		return cmdSubmit(rest)
 	case "status":
@@ -141,8 +149,11 @@ func cmdConfigure(args []string) error {
 	fs := flag.NewFlagSet("configure", flag.ContinueOnError)
 	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
 	target := fs.String("target", "thor-board", "target system name")
-	kind := fs.String("kind", "scifi", "target kind: scifi, swifi, pinlevel")
+	kind := fs.String("kind", "scifi", "target kind (see 'goofi targets')")
 	imageBytes := fs.Int("image-bytes", 4096, "workload image size (swifi targets)")
+	victim := fs.String("victim", "", "victim binary path (proc targets; adds the memory chain)")
+	params := paramFlags{}
+	fs.Var(params, "target-param", "target-specific key=value parameter (repeatable)")
 	tree := fs.Bool("tree", false, "print the hierarchical location list")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -152,16 +163,19 @@ func cmdConfigure(args []string) error {
 		return err
 	}
 	defer db.Close()
-	var tsd *campaign.TargetSystemData
-	switch *kind {
-	case "scifi":
-		tsd = scifi.TargetSystemData(*target)
-	case "swifi":
-		tsd = swifi.TargetSystemData(*target, *imageBytes)
-	case "pinlevel":
-		tsd = pinlevel.TargetSystemData(*target)
-	default:
-		return fmt.Errorf("unknown target kind %q", *kind)
+	if _, ok := params["image-bytes"]; !ok {
+		params["image-bytes"] = strconv.Itoa(*imageBytes)
+	}
+	if *victim != "" {
+		params["victim"] = *victim
+	}
+	info, ok := core.LookupTarget(*kind)
+	if !ok {
+		return fmt.Errorf("unknown target kind %q (see 'goofi targets')", *kind)
+	}
+	tsd, err := info.SystemData(*target, core.TargetConfig{Params: params})
+	if err != nil {
+		return err
 	}
 	if err := st.PutTargetSystem(tsd); err != nil {
 		return err
@@ -196,6 +210,7 @@ type campaignFlags struct {
 	timeout                                 *uint64
 	maxIter                                 *int
 	wl, envName, logMode                    *string
+	victim                                  *string
 }
 
 func newCampaignFlags(fs *flag.FlagSet) *campaignFlags {
@@ -220,6 +235,7 @@ func newCampaignFlags(fs *flag.FlagSet) *campaignFlags {
 		wl:          fs.String("workload", "sort16", "built-in workload name"),
 		envName:     fs.String("envsim", "", "environment simulator (empty = none)"),
 		logMode:     fs.String("log", "normal", "log mode: normal or detail"),
+		victim:      fs.String("victim", "", "victim binary path (proc targets; overrides -workload)"),
 	}
 }
 
@@ -228,9 +244,20 @@ func (cf *campaignFlags) campaign() (*campaign.Campaign, error) {
 	if *cf.name == "" {
 		return nil, fmt.Errorf("-campaign is required")
 	}
-	spec, ok := workload.All()[*cf.wl]
-	if !ok {
-		return nil, fmt.Errorf("unknown workload %q (see 'goofi workloads')", *cf.wl)
+	var spec campaign.WorkloadSpec
+	if *cf.victim != "" {
+		// A victim binary is the workload for live-process targets: the
+		// path travels in Source, so no built-in lookup applies.
+		spec = campaign.WorkloadSpec{
+			Name:   "victim:" + filepath.Base(*cf.victim),
+			Source: *cf.victim,
+		}
+	} else {
+		var ok bool
+		spec, ok = workload.All()[*cf.wl]
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (see 'goofi workloads')", *cf.wl)
+		}
 	}
 	camp := &campaign.Campaign{
 		Name:       *cf.name,
@@ -328,21 +355,87 @@ func cmdMerge(args []string) error {
 	return nil
 }
 
-// targetFactory builds fresh target systems for a technique; the
-// algorithm registry key doubles as the target kind.
-func targetFactory(technique string, scifiOpts ...scifi.Option) func() core.TargetSystem {
+// paramFlags collects repeated -target-param key=value flags into a
+// target configuration.
+type paramFlags map[string]string
+
+func (p paramFlags) String() string {
+	parts := make([]string, 0, len(p))
+	for k, v := range p {
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (p paramFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	p[k] = v
+	return nil
+}
+
+// resolveTarget turns the -target / -technique flag pair into a
+// registry entry and an algorithm. Either flag alone is enough: a bare
+// technique selects the like-named target (the historical CLI
+// contract), a bare target runs its default algorithm.
+func resolveTarget(kind, technique string, params map[string]string) (core.TargetInfo, core.TargetConfig, core.Algorithm, error) {
+	if kind == "" {
+		kind = technique
+	}
+	if kind == "" {
+		kind = "scifi"
+	}
+	info, ok := core.LookupTarget(kind)
+	if !ok {
+		return core.TargetInfo{}, core.TargetConfig{}, core.Algorithm{},
+			fmt.Errorf("unknown target %q (see 'goofi targets')", kind)
+	}
+	algName := technique
+	if algName == "" {
+		algName = info.Algorithm
+	}
+	alg, ok := core.Algorithms()[algName]
+	if !ok {
+		return core.TargetInfo{}, core.TargetConfig{}, core.Algorithm{},
+			fmt.Errorf("unknown technique %q", algName)
+	}
+	return info, core.TargetConfig{Params: params}, alg, nil
+}
+
+// registryFactory builds the board factory from a registry entry. The
+// first construction is validated eagerly by the caller; later ones
+// reuse the same config, so a failure there is a programming error the
+// runner's recovery layer converts to a wedge.
+func registryFactory(info core.TargetInfo, cfg core.TargetConfig) func() core.TargetSystem {
 	return func() core.TargetSystem {
-		switch technique {
-		case "swifi-preruntime":
-			return swifi.New(thor.DefaultConfig(), swifi.PreRuntime)
-		case "swifi-runtime":
-			return swifi.New(thor.DefaultConfig(), swifi.Runtime)
-		case "pin-level":
-			return pinlevel.New(thor.DefaultConfig())
-		default:
-			return scifi.New(thor.DefaultConfig(), scifiOpts...)
+		ts, err := info.New(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("target %q factory: %v", info.Kind, err))
+		}
+		return ts
+	}
+}
+
+func cmdTargets(args []string) error {
+	fs := flag.NewFlagSet("targets", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, ti := range core.Targets() {
+		fmt.Printf("%s\n    %s\n", ti.Kind, ti.Description)
+		det := "deterministic (byte-identical reruns)"
+		if !ti.Deterministic {
+			det = "plan-deterministic (statistical outcomes)"
+		}
+		fmt.Printf("    algorithm: %s, %s\n", ti.Algorithm, det)
+		if len(ti.Aliases) > 0 {
+			fmt.Printf("    aliases: %s\n", strings.Join(ti.Aliases, ", "))
 		}
 	}
+	return nil
 }
 
 // robustFlags is the fault-tolerance and chaos flag group shared by run
@@ -507,7 +600,10 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
 	name := fs.String("campaign", "", "campaign to run (required)")
-	technique := fs.String("technique", "scifi", "fault injection technique: scifi, swifi-preruntime, swifi-runtime, pin-level")
+	technique := fs.String("technique", "", "fault injection algorithm: scifi, swifi-preruntime, swifi-runtime, pin-level (default: the target's own)")
+	targetKind := fs.String("target", "", "target system kind (see 'goofi targets'; default: derived from -technique, else scifi)")
+	params := paramFlags{}
+	fs.Var(params, "target-param", "target-specific key=value parameter (repeatable)")
 	rerun := fs.String("rerun", "", "re-run one experiment by name (detail mode), recording parentExperiment")
 	preFilter := fs.Bool("pre-injection", false, "enable pre-injection liveness filtering")
 	boards := fs.Int("boards", 1, "number of simulated boards to run in parallel")
@@ -541,15 +637,19 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	alg, ok := core.Algorithms()[*technique]
-	if !ok {
-		return fmt.Errorf("run: unknown technique %q", *technique)
-	}
-	var scifiOpts []scifi.Option
 	if *noFast {
-		scifiOpts = append(scifiOpts, scifi.NoFastPath())
+		params["fastpath"] = "off"
 	}
-	factory := rf.wrapFactory(targetFactory(*technique, scifiOpts...))
+	info, tcfg, alg, err := resolveTarget(*targetKind, *technique, params)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	// Build one board eagerly so a bad target configuration fails here
+	// with a real error instead of panicking inside the board pool.
+	if _, err := info.New(tcfg); err != nil {
+		return fmt.Errorf("run: target %q: %w", info.Kind, err)
+	}
+	factory := rf.wrapFactory(registryFactory(info, tcfg))
 	// Batch LoggedSystemState writes: the scheduler flushes the sink at
 	// checkpoints and on termination, and Close drains it before save.
 	sink := campaign.NewBatchingSink(st, 0)
@@ -665,8 +765,19 @@ func finishCampaign(st *campaign.Store, db *sqldb.DB, sink *campaign.BatchingSin
 				s.RecordsPerSecond)
 		}
 	}
-	for status, n := range sum.ByStatus {
-		fmt.Printf("  %-12s %d\n", status, n)
+	statuses := make([]string, 0, len(sum.ByStatus))
+	for status := range sum.ByStatus {
+		statuses = append(statuses, string(status))
+	}
+	sort.Strings(statuses)
+	for _, status := range statuses {
+		fmt.Printf("  %-12s %d\n", status, sum.ByStatus[campaign.OutcomeStatus(status)])
+	}
+	if !sum.Deterministic && sum.PlanHash != "" {
+		// Nondeterministic targets replay the plan, not the bytes: print
+		// the hash so same-seed reruns can be checked for plan identity.
+		fmt.Printf("  fault plan %s (nondeterministic target: plan is seed-stable, outcomes are statistical)\n",
+			sum.PlanHash)
 	}
 	if sum.Forwarded > 0 {
 		fmt.Printf("  fast-forwarded %d experiments: %d cycles emulated, %d saved by checkpoint restore\n",
@@ -690,7 +801,10 @@ func cmdResume(args []string) error {
 	fs := flag.NewFlagSet("resume", flag.ContinueOnError)
 	dbPath := fs.String("db", "goofi.db", "GOOFI database file")
 	name := fs.String("campaign", "", "campaign to resume (or pass it as the positional argument)")
-	technique := fs.String("technique", "scifi", "fault injection technique: scifi, swifi-preruntime, swifi-runtime, pin-level")
+	technique := fs.String("technique", "", "fault injection algorithm: scifi, swifi-preruntime, swifi-runtime, pin-level (default: the target's own)")
+	targetKind := fs.String("target", "", "target system kind (see 'goofi targets'; default: derived from -technique, else scifi)")
+	params := paramFlags{}
+	fs.Var(params, "target-param", "target-specific key=value parameter (repeatable)")
 	boards := fs.Int("boards", 1, "number of simulated boards to run in parallel")
 	ckpt := fs.Int("checkpoint", core.DefaultCheckpointInterval,
 		"experiments between durable checkpoints (0 disables crash recovery)")
@@ -752,11 +866,14 @@ func cmdResume(args []string) error {
 		cp.Completed = kept
 		fmt.Printf("re-attempting %d invalid run(s)\n", dropped)
 	}
-	alg, ok := core.Algorithms()[*technique]
-	if !ok {
-		return fmt.Errorf("resume: unknown technique %q", *technique)
+	info, tcfg, alg, err := resolveTarget(*targetKind, *technique, params)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
 	}
-	factory := rf.wrapFactory(targetFactory(*technique))
+	if _, err := info.New(tcfg); err != nil {
+		return fmt.Errorf("resume: target %q: %w", info.Kind, err)
+	}
+	factory := rf.wrapFactory(registryFactory(info, tcfg))
 	sink := campaign.NewBatchingSink(st, 0)
 	defer sink.Close()
 	tr, prog, stopTelemetry, err := tf.start(*boards)

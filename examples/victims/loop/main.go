@@ -1,0 +1,29 @@
+// loop is a proctarget victim built for the hang path: its iteration
+// bound lives in a writable global (main.gEnd on the "memory" chain),
+// so flipping a high value bit turns a microsecond spin into an
+// effectively infinite loop that only the campaign watchdog ends.
+//
+// The bound is re-read through atomic.LoadInt64 every iteration; a
+// plain load would let the compiler hoist it out of the loop and the
+// injected value would never be observed.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+var gEnd int64 = 4096
+
+//go:noinline
+func workload() int64 {
+	var spins int64
+	for i := int64(0); i < atomic.LoadInt64(&gEnd); i++ {
+		spins++
+	}
+	return spins
+}
+
+func main() {
+	fmt.Printf("loop done spins=%d\n", workload())
+}

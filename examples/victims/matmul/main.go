@@ -1,0 +1,45 @@
+// matmul is a proctarget victim: a dense integer matrix multiply whose
+// result is folded into an FNV hash and printed. Its output is a pure
+// function of its inputs, so any surviving bit-flip in the working set
+// shows up as silent data corruption against the reference capture.
+//
+// The //go:noinline workload function is where proctarget plants its
+// injection breakpoint; the global arrays are the "memory" fault chain.
+package main
+
+import "fmt"
+
+const n = 24
+
+var (
+	gA [n * n]int64
+	gB [n * n]int64
+	gC [n * n]int64
+)
+
+//go:noinline
+func workload() {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s int64
+			for k := 0; k < n; k++ {
+				s += gA[i*n+k] * gB[k*n+j]
+			}
+			gC[i*n+j] = s
+		}
+	}
+}
+
+func main() {
+	for i := range gA {
+		gA[i] = int64(i%97) - 48
+		gB[i] = int64((i*7)%89) - 44
+	}
+	workload()
+	var h uint64 = 1469598103934665603
+	for _, v := range gC {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	fmt.Printf("matmul n=%d hash=%016x c0=%d cN=%d\n", n, h, gC[0], gC[len(gC)-1])
+}

@@ -132,6 +132,10 @@ type Report struct {
 	// MeanDetectionLatency is the mean injection-to-detection time in
 	// cycles over detected experiments.
 	MeanDetectionLatency float64
+	// OutcomeClasses counts the process-boundary outcome classes of
+	// live-process (proc) experiments: masked, sdc, crash, hang. Empty
+	// for scan-chain targets.
+	OutcomeClasses map[campaign.OutcomeStatus]int
 	// Recovered is the total number of assertion recoveries.
 	Recovered int
 	// Details holds the per-experiment classifications.
@@ -222,6 +226,29 @@ func (a *Analyzer) classify(rec, ref *campaign.ExperimentRecord) (Details, error
 		return d, nil
 	}
 	out := rec.Data.Outcome
+	// Live-process targets classify outcomes at the process boundary
+	// (ZOFI's taxonomy); map them onto the paper's classes directly —
+	// there is no scan state to diff. A crash is a detected error (the
+	// hardware/OS trap is the detection mechanism), a hang is a
+	// timeliness violation, silent data corruption escaped, and a masked
+	// fault left no observable trace.
+	switch out.Status {
+	case campaign.OutcomeMasked:
+		d.Class = ClassOverwritten
+		return d, nil
+	case campaign.OutcomeSDC:
+		d.Class = ClassEscaped
+		d.WrongOutput = true
+		return d, nil
+	case campaign.OutcomeCrash:
+		d.Class = ClassDetected
+		d.Mechanism = out.Mechanism
+		return d, nil
+	case campaign.OutcomeHang:
+		d.Class = ClassEscaped
+		d.Timeliness = true
+		return d, nil
+	}
 	if out.Status == campaign.OutcomeDetected {
 		d.Class = ClassDetected
 		d.Mechanism = out.Mechanism
@@ -365,9 +392,10 @@ func (a *Analyzer) Run() (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{
-		Campaign:   a.camp.Name,
-		Counts:     make(map[Class]int),
-		Mechanisms: make(map[string]int),
+		Campaign:       a.camp.Name,
+		Counts:         make(map[Class]int),
+		Mechanisms:     make(map[string]int),
+		OutcomeClasses: make(map[campaign.OutcomeStatus]int),
 	}
 	var latencySum uint64
 	var latencyN int
@@ -385,6 +413,11 @@ func (a *Analyzer) Run() (*Report, error) {
 		}
 		rep.Counts[d.Class]++
 		rep.Recovered += d.Recovered
+		switch rec.Data.Outcome.Status {
+		case campaign.OutcomeMasked, campaign.OutcomeSDC,
+			campaign.OutcomeCrash, campaign.OutcomeHang:
+			rep.OutcomeClasses[rec.Data.Outcome.Status]++
+		}
 		switch d.Class {
 		case ClassDetected:
 			rep.Mechanisms[d.Mechanism]++
@@ -436,6 +469,15 @@ func (r *Report) Render() string {
 	}
 	if n := r.Counts[ClassInvalidRun]; n > 0 {
 		fmt.Fprintf(&sb, "  invalid runs    %5d  (harness failures, excluded from all ratios)\n", n)
+	}
+	if len(r.OutcomeClasses) > 0 {
+		fmt.Fprintf(&sb, "  process outcome classes:\n")
+		for _, s := range []campaign.OutcomeStatus{campaign.OutcomeMasked,
+			campaign.OutcomeSDC, campaign.OutcomeCrash, campaign.OutcomeHang} {
+			if n := r.OutcomeClasses[s]; n > 0 {
+				fmt.Fprintf(&sb, "    %-12s %5d\n", s, n)
+			}
+		}
 	}
 	fmt.Fprintf(&sb, "  detection coverage: %s\n", r.Coverage)
 	fmt.Fprintf(&sb, "  effective rate:     %s\n", r.EffectiveRate)

@@ -234,6 +234,23 @@ const (
 	// invalid runs from all effectiveness ratios (the paper's discarded
 	// experiments).
 	OutcomeInvalidRun OutcomeStatus = "invalid-run"
+
+	// The live-process (proctarget) outcome taxonomy, after ZOFI: the
+	// victim is a real OS process, so termination is classified from its
+	// exit status and output rather than from simulated detectors.
+	//
+	// OutcomeMasked: the victim exited 0 and its stdout matched the
+	// fault-free reference capture byte for byte — the fault had no
+	// externally visible effect.
+	OutcomeMasked OutcomeStatus = "masked"
+	// OutcomeSDC: the victim exited 0 but produced different output —
+	// silent data corruption.
+	OutcomeSDC OutcomeStatus = "sdc"
+	// OutcomeCrash: the victim died on a signal or exited non-zero.
+	OutcomeCrash OutcomeStatus = "crash"
+	// OutcomeHang: the victim exceeded its wall-clock budget and was
+	// killed by the watchdog.
+	OutcomeHang OutcomeStatus = "hang"
 )
 
 // Outcome is the recorded end state of one experiment.

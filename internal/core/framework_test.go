@@ -1,0 +1,53 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestFrameworkStubsNameTheMethod pins the Fig 3 template contract:
+// every abstract method a port has not overridden reports a
+// NotImplementedError naming exactly that method, so a user selecting
+// an algorithm against an incomplete target learns precisely which
+// building block is missing. InjectFault is excluded — the Framework
+// ships a generic scan-vector implementation of it.
+func TestFrameworkStubsNameTheMethod(t *testing.T) {
+	f := &Framework{TargetName: "blank-port"}
+	ex := &Experiment{}
+	cases := []struct {
+		method string
+		call   func(*Experiment) error
+	}{
+		{"InitTestCard", f.InitTestCard},
+		{"LoadWorkload", f.LoadWorkload},
+		{"WriteMemory", f.WriteMemory},
+		{"RunWorkload", f.RunWorkload},
+		{"WaitForBreakpoint", f.WaitForBreakpoint},
+		{"ReadScanChain", f.ReadScanChain},
+		{"WriteScanChain", f.WriteScanChain},
+		{"WaitForTermination", f.WaitForTermination},
+		{"ReadMemory", f.ReadMemory},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method, func(t *testing.T) {
+			err := tc.call(ex)
+			var ni *NotImplementedError
+			if !errors.As(err, &ni) {
+				t.Fatalf("%s: err = %v, want NotImplementedError", tc.method, err)
+			}
+			if ni.Method != tc.method {
+				t.Fatalf("NotImplementedError.Method = %q, want %q", ni.Method, tc.method)
+			}
+			if ni.Target != "blank-port" {
+				t.Fatalf("NotImplementedError.Target = %q, want blank-port", ni.Target)
+			}
+			if !strings.Contains(err.Error(), tc.method) {
+				t.Fatalf("error text %q does not name the method", err)
+			}
+			if ClassifyError(err) != Persistent {
+				t.Fatalf("classified %v, want persistent (retrying cannot implement a method)", ClassifyError(err))
+			}
+		})
+	}
+}

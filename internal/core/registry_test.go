@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"goofi/internal/campaign"
+)
+
+// registryTestTarget is a minimal registrable target.
+type registryTestTarget struct{ Framework }
+
+func regTestInfo(kind string, aliases ...string) TargetInfo {
+	return TargetInfo{
+		Kind:    kind,
+		Aliases: aliases,
+		New: func(TargetConfig) (TargetSystem, error) {
+			return &registryTestTarget{Framework{TargetName: kind}}, nil
+		},
+		SystemData: func(name string, cfg TargetConfig) (*campaign.TargetSystemData, error) {
+			return &campaign.TargetSystemData{Name: name}, nil
+		},
+	}
+}
+
+func TestTargetRegistryLookupAndAliases(t *testing.T) {
+	RegisterTarget(regTestInfo("registry-test-kind", "registry-test-alias"))
+	if _, ok := LookupTarget("registry-test-kind"); !ok {
+		t.Fatal("registered kind not found")
+	}
+	info, ok := LookupTarget("registry-test-alias")
+	if !ok {
+		t.Fatal("alias not resolved")
+	}
+	if info.Kind != "registry-test-kind" {
+		t.Fatalf("alias resolved to %q", info.Kind)
+	}
+	if _, ok := LookupTarget("registry-test-missing"); ok {
+		t.Fatal("lookup of unregistered kind succeeded")
+	}
+	// Targets folds aliases into their canonical entry and sorts.
+	seen := 0
+	var prev string
+	for _, ti := range Targets() {
+		if ti.Kind == "registry-test-kind" {
+			seen++
+		}
+		if prev != "" && ti.Kind < prev {
+			t.Fatalf("Targets not sorted: %q after %q", ti.Kind, prev)
+		}
+		prev = ti.Kind
+	}
+	if seen != 1 {
+		t.Fatalf("canonical entry listed %d times, want 1", seen)
+	}
+}
+
+func TestTargetRegistryDuplicatePanics(t *testing.T) {
+	RegisterTarget(regTestInfo("registry-dup-kind"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterTarget(regTestInfo("registry-dup-kind"))
+}
+
+// TestTargetDeterministicDefault pins the capability contract: targets
+// without a Deterministic method keep the historical byte-identity
+// guarantee; declaring the method is the only way to relax it.
+func TestTargetDeterministicDefault(t *testing.T) {
+	if !TargetDeterministic(&registryTestTarget{}) {
+		t.Fatal("plain target not deterministic by default")
+	}
+	if !TargetDeterministic(&detTrue{}) || TargetDeterministic(&detFalse{}) {
+		t.Fatal("declared capability not honoured")
+	}
+}
+
+type detTrue struct{ Framework }
+
+func (*detTrue) Deterministic() bool { return true }
+
+type detFalse struct{ Framework }
+
+func (*detFalse) Deterministic() bool { return false }

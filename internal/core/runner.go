@@ -64,6 +64,14 @@ type Summary struct {
 	Retried           int
 	InvalidRuns       int
 	QuarantinedBoards int
+	// PlanHash fingerprints the campaign's full injection plan (seq →
+	// fault + trigger) before execution; Deterministic reports the
+	// target's declared capability (TargetDeterministic). For
+	// non-deterministic targets the plan hash is the replayable
+	// artifact: same seed → same hash, even though per-run outcomes are
+	// statistical.
+	PlanHash      string
+	Deterministic bool
 }
 
 // Runner executes fault injection campaigns: a reference run followed by

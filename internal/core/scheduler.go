@@ -212,10 +212,12 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	r.progress.AddDone(resumed)
 
 	sum := &Summary{
-		Campaign:    r.camp.Name,
-		Skipped:     skipped,
-		ByStatus:    make(map[campaign.OutcomeStatus]int),
-		ByMechanism: make(map[string]int),
+		Campaign:      r.camp.Name,
+		Skipped:       skipped,
+		PlanHash:      hash,
+		Deterministic: TargetDeterministic(r.target),
+		ByStatus:      make(map[campaign.OutcomeStatus]int),
+		ByMechanism:   make(map[string]int),
 	}
 
 	// makeReferenceRun (paper Fig 2): fault-free execution whose logged

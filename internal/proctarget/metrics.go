@@ -1,0 +1,15 @@
+package proctarget
+
+import "goofi/internal/telemetry"
+
+// Telemetry for live-process campaigns: experiment volume, the outcome
+// class histogram (the ZOFI taxonomy is the headline result of a proc
+// campaign) and single-step work, which dominates wall clock.
+var (
+	mExperiments = telemetry.NewCounter("goofi_proc_experiments_total",
+		"Live-process experiments started (victims forked under ptrace).")
+	mOutcomes = telemetry.NewCounterVec("goofi_proc_outcomes_total",
+		"Live-process experiment outcomes by class.", "class")
+	mSteps = telemetry.NewCounter("goofi_proc_singlesteps_total",
+		"Single-step instructions executed reaching injection points.")
+)

@@ -1,0 +1,36 @@
+//go:build !linux || !amd64
+
+package proctarget
+
+import (
+	"fmt"
+
+	"goofi/internal/core"
+)
+
+// Live-process injection needs Linux ptrace on amd64. On every other
+// platform the tracer is a stub whose construction fails with a
+// persistent (non-retryable) error; tests Probe first and t.Skip.
+
+func lockThread()     {}
+func unlockThread()   {}
+func killProcess(int) {}
+
+var errUnavailable = &procError{class: core.Persistent,
+	err: fmt.Errorf("proctarget: ptrace is only supported on linux/amd64")}
+
+type tracer struct{}
+
+func startTraced(string) (*tracer, error) { return nil, errUnavailable }
+
+func (t *tracer) PID() int                   { return 0 }
+func (t *tracer) SetBreakpoint(uint64) error { return errUnavailable }
+func (t *tracer) ContToBreakpoint() (bool, *exitInfo, error) {
+	return false, nil, errUnavailable
+}
+func (t *tracer) Step(uint64) (uint64, *exitInfo, error) { return 0, nil, errUnavailable }
+func (t *tracer) FlipRegisterBits([][2]int) error        { return errUnavailable }
+func (t *tracer) FlipMemoryBit(uint64, byte) error       { return errUnavailable }
+func (t *tracer) Resume() (*exitInfo, error)             { return nil, errUnavailable }
+func (t *tracer) Stdout() []byte                         { return nil }
+func (t *tracer) Shutdown()                              {}

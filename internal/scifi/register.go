@@ -1,0 +1,32 @@
+package scifi
+
+import (
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/thor"
+)
+
+// Deterministic declares the simulator's full differential guarantee:
+// same plan, byte-identical records. Every thor-backed target states
+// this explicitly so the relaxation introduced for live-process targets
+// can never silently widen.
+func (t *Target) Deterministic() bool { return true }
+
+func init() {
+	core.RegisterTarget(core.TargetInfo{
+		Kind:          "scifi",
+		Description:   "THOR-S simulated board via scan-chain implemented fault injection",
+		Algorithm:     core.SCIFI.Name,
+		Deterministic: true,
+		New: func(cfg core.TargetConfig) (core.TargetSystem, error) {
+			var opts []Option
+			if cfg.Param("fastpath", "on") == "off" {
+				opts = append(opts, NoFastPath())
+			}
+			return New(thor.DefaultConfig(), opts...), nil
+		},
+		SystemData: func(name string, cfg core.TargetConfig) (*campaign.TargetSystemData, error) {
+			return TargetSystemData(name), nil
+		},
+	})
+}

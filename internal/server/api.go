@@ -6,10 +6,10 @@ package server
 // state transition, 429 queue full).
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"crypto/subtle"
 	"net/http/pprof"
 	"os"
 	"path"
@@ -138,7 +138,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	if err := st.PutTargetSystem(req.targetData()); err != nil {
+	tsd, err := req.targetData()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "configure target: %v", err)
+		return
+	}
+	if err := st.PutTargetSystem(tsd); err != nil {
 		writeErr(w, http.StatusInternalServerError, "configure target: %v", err)
 		return
 	}

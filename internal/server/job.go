@@ -4,18 +4,22 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"goofi/internal/campaign"
 	"goofi/internal/core"
-	"goofi/internal/pinlevel"
-	"goofi/internal/scifi"
 	"goofi/internal/shard"
 	"goofi/internal/sqldb"
-	"goofi/internal/swifi"
 	"goofi/internal/telemetry"
-	"goofi/internal/thor"
 	"goofi/internal/workload"
+
+	// Registered target systems. The daemon reaches every target through
+	// the core registry; the blank imports run each RegisterTarget init.
+	_ "goofi/internal/pinlevel"
+	_ "goofi/internal/proctarget"
+	_ "goofi/internal/scifi"
+	_ "goofi/internal/swifi"
 )
 
 // SubmitRequest is the POST /api/v1/campaigns body: everything goofid
@@ -29,12 +33,17 @@ type SubmitRequest struct {
 	// Campaign is the full campaign definition (the CampaignData row).
 	Campaign *campaign.Campaign `json:"campaign"`
 	// TargetKind configures the target system server-side when the
-	// tenant database does not hold it yet: scifi, swifi, pinlevel
-	// (default scifi). ImageBytes sizes swifi workload images.
+	// tenant database does not hold it yet: any registered target kind
+	// or alias — scifi, swifi, pinlevel, proc, ... (default scifi).
+	// ImageBytes sizes swifi workload images.
 	TargetKind string `json:"targetKind,omitempty"`
 	ImageBytes int    `json:"imageBytes,omitempty"`
+	// TargetParams carries target-specific key=value configuration
+	// (e.g. "victim" for proc targets).
+	TargetParams map[string]string `json:"targetParams,omitempty"`
 	// Technique selects the injection algorithm: scifi,
-	// swifi-preruntime, swifi-runtime, pin-level (default scifi).
+	// swifi-preruntime, swifi-runtime, pin-level (default: the target
+	// kind's own algorithm).
 	Technique string `json:"technique,omitempty"`
 	// Boards caps this campaign's parallelism on the shared fleet
 	// (default 1).
@@ -57,19 +66,21 @@ type SubmitRequest struct {
 	ExternalWorkers bool `json:"externalWorkers,omitempty"`
 }
 
-// normalize fills the defaulted fields in place.
+// normalize fills the defaulted fields in place. Either of TargetKind
+// and Technique alone is enough: a bare technique selects the
+// like-named target (the historical API contract), a bare target kind
+// runs its default algorithm, and both empty means scifi.
 func (sr *SubmitRequest) normalize() {
-	if sr.Technique == "" {
-		sr.Technique = "scifi"
+	if sr.TargetKind == "" {
+		sr.TargetKind = sr.Technique
 	}
 	if sr.TargetKind == "" {
-		switch sr.Technique {
-		case "swifi-preruntime", "swifi-runtime":
-			sr.TargetKind = "swifi"
-		case "pin-level":
-			sr.TargetKind = "pinlevel"
-		default:
-			sr.TargetKind = "scifi"
+		sr.TargetKind = "scifi"
+	}
+	if info, ok := core.LookupTarget(sr.TargetKind); ok {
+		sr.TargetKind = info.Kind // canonicalize aliases
+		if sr.Technique == "" {
+			sr.Technique = info.Algorithm
 		}
 	}
 	if sr.ImageBytes <= 0 {
@@ -109,9 +120,7 @@ func (sr *SubmitRequest) validate() error {
 	if _, ok := core.Algorithms()[sr.Technique]; !ok {
 		return fmt.Errorf("unknown technique %q", sr.Technique)
 	}
-	switch sr.TargetKind {
-	case "scifi", "swifi", "pinlevel":
-	default:
+	if _, ok := core.LookupTarget(sr.TargetKind); !ok {
 		return fmt.Errorf("unknown target kind %q", sr.TargetKind)
 	}
 	if sr.Shards < 0 {
@@ -120,34 +129,40 @@ func (sr *SubmitRequest) validate() error {
 	return nil
 }
 
-// targetData builds the TargetSystemData for the request's target kind.
-func (sr *SubmitRequest) targetData() *campaign.TargetSystemData {
-	name := sr.Campaign.TargetName
-	switch sr.TargetKind {
-	case "swifi":
-		return swifi.TargetSystemData(name, sr.ImageBytes)
-	case "pinlevel":
-		return pinlevel.TargetSystemData(name)
-	default:
-		return scifi.TargetSystemData(name)
+// targetConfig folds the request's target knobs into a registry config.
+func (sr *SubmitRequest) targetConfig() core.TargetConfig {
+	params := make(map[string]string, len(sr.TargetParams)+1)
+	for k, v := range sr.TargetParams {
+		params[k] = v
 	}
+	if _, ok := params["image-bytes"]; !ok {
+		params["image-bytes"] = strconv.Itoa(sr.ImageBytes)
+	}
+	return core.TargetConfig{Params: params}
 }
 
-// factory builds fresh target systems for the request's technique — the
-// same switch as the goofi CLI's targetFactory.
+// targetData builds the TargetSystemData for the request's target kind.
+func (sr *SubmitRequest) targetData() (*campaign.TargetSystemData, error) {
+	info, ok := core.LookupTarget(sr.TargetKind)
+	if !ok {
+		return nil, fmt.Errorf("unknown target kind %q", sr.TargetKind)
+	}
+	return info.SystemData(sr.Campaign.TargetName, sr.targetConfig())
+}
+
+// factory builds fresh target systems from the registry — the same
+// construction path as the goofi CLI. validate has already confirmed
+// the kind exists; a construction failure afterwards is a programming
+// error the runner's recovery layer converts to a wedge.
 func (sr *SubmitRequest) factory() func() core.TargetSystem {
-	technique := sr.Technique
+	info, _ := core.LookupTarget(sr.TargetKind)
+	cfg := sr.targetConfig()
 	return func() core.TargetSystem {
-		switch technique {
-		case "swifi-preruntime":
-			return swifi.New(thor.DefaultConfig(), swifi.PreRuntime)
-		case "swifi-runtime":
-			return swifi.New(thor.DefaultConfig(), swifi.Runtime)
-		case "pin-level":
-			return pinlevel.New(thor.DefaultConfig())
-		default:
-			return scifi.New(thor.DefaultConfig())
+		ts, err := info.New(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("target %q factory: %v", info.Kind, err))
 		}
+		return ts
 	}
 }
 

@@ -85,6 +85,8 @@ func (s *Server) executeSharded(ctx context.Context, j *job) {
 		Campaign:       camp,
 		Target:         tsd,
 		Technique:      spec.Technique,
+		TargetKind:     spec.TargetKind,
+		TargetParams:   spec.TargetParams,
 		ImageBytes:     spec.ImageBytes,
 		Shards:         spec.Shards,
 		Checkpoint:     spec.Checkpoint,

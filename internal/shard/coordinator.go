@@ -48,6 +48,12 @@ type CoordinatorConfig struct {
 	Target   *campaign.TargetSystemData
 	// Technique selects the injection algorithm workers run.
 	Technique string
+	// TargetKind names the registered target system workers construct
+	// (empty: derived from Technique).
+	TargetKind string
+	// TargetParams carries target-specific key=value configuration
+	// handed out with every lease.
+	TargetParams map[string]string
 	// ImageBytes sizes swifi workload images on the workers.
 	ImageBytes int
 	// Shards is how many ranges the plan is partitioned into.
@@ -317,6 +323,8 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 		Campaign:       c.cfg.Campaign,
 		Target:         c.cfg.Target,
 		Technique:      c.cfg.Technique,
+		TargetKind:     c.cfg.TargetKind,
+		TargetParams:   c.cfg.TargetParams,
 		ImageBytes:     c.cfg.ImageBytes,
 		Checkpoint:     c.cfg.Checkpoint,
 		HeartbeatEvery: c.cfg.HeartbeatEvery,

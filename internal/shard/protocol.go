@@ -65,6 +65,11 @@ type LeaseResponse struct {
 	Campaign  *campaign.Campaign         `json:"campaign,omitempty"`
 	Target    *campaign.TargetSystemData `json:"target,omitempty"`
 	Technique string                     `json:"technique,omitempty"`
+	// TargetKind names the registered target system workers construct
+	// (empty: derived from Technique, the historical contract).
+	TargetKind string `json:"targetKind,omitempty"`
+	// TargetParams carries target-specific key=value configuration.
+	TargetParams map[string]string `json:"targetParams,omitempty"`
 	// ImageBytes sizes swifi workload images (the submit-time knob).
 	ImageBytes int `json:"imageBytes,omitempty"`
 	// Checkpoint is the worker-side durable-cursor interval in

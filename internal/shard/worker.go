@@ -14,17 +14,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"goofi/internal/campaign"
 	"goofi/internal/core"
-	"goofi/internal/pinlevel"
-	"goofi/internal/scifi"
 	"goofi/internal/sqldb"
-	"goofi/internal/swifi"
-	"goofi/internal/thor"
+
+	// Registered target systems: workers construct targets through the
+	// core registry, so each package's RegisterTarget init must run.
+	_ "goofi/internal/pinlevel"
+	_ "goofi/internal/proctarget"
+	_ "goofi/internal/scifi"
+	_ "goofi/internal/swifi"
 )
 
 // reportBatch is how many records a report carries at most; experiment
@@ -77,21 +81,40 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	return &Worker{cfg: cfg}, nil
 }
 
-// targetFactory mirrors the goofi CLI's technique switch so a worker
-// builds the same target systems the solo run would.
-func targetFactory(technique string) func() core.TargetSystem {
-	return func() core.TargetSystem {
-		switch technique {
-		case "swifi-preruntime":
-			return swifi.New(thor.DefaultConfig(), swifi.PreRuntime)
-		case "swifi-runtime":
-			return swifi.New(thor.DefaultConfig(), swifi.Runtime)
-		case "pin-level":
-			return pinlevel.New(thor.DefaultConfig())
-		default:
-			return scifi.New(thor.DefaultConfig())
-		}
+// targetFactory resolves the lease's target through the core registry
+// so a worker builds the same target systems the solo run would. An
+// empty TargetKind falls back to the technique name — the historical
+// lease contract, which keeps mixed-version fleets working.
+func targetFactory(lease *LeaseResponse) (func() core.TargetSystem, error) {
+	kind := lease.TargetKind
+	if kind == "" {
+		kind = lease.Technique
 	}
+	if kind == "" {
+		kind = "scifi"
+	}
+	info, ok := core.LookupTarget(kind)
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown target kind %q", kind)
+	}
+	params := make(map[string]string, len(lease.TargetParams)+1)
+	for k, v := range lease.TargetParams {
+		params[k] = v
+	}
+	if _, ok := params["image-bytes"]; !ok && lease.ImageBytes > 0 {
+		params["image-bytes"] = strconv.Itoa(lease.ImageBytes)
+	}
+	cfg := core.TargetConfig{Params: params}
+	if _, err := info.New(cfg); err != nil {
+		return nil, fmt.Errorf("shard: target %q: %w", info.Kind, err)
+	}
+	return func() core.TargetSystem {
+		ts, err := info.New(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("target %q factory: %v", info.Kind, err))
+		}
+		return ts
+	}, nil
 }
 
 // hookSink forwards to the worker's batching sink and mirrors every
@@ -383,7 +406,10 @@ func (w *Worker) runRange(ctx context.Context, tenants *campaign.TenantDBs, leas
 	if !ok {
 		return fmt.Errorf("shard: unknown technique %q", lease.Technique)
 	}
-	factory := targetFactory(lease.Technique)
+	factory, err := targetFactory(lease)
+	if err != nil {
+		return err
+	}
 	sink := campaign.NewBatchingSink(st, 0)
 	opts := []core.RunnerOption{
 		core.WithSink(&hookSink{BatchingSink: sink, rep: rep, hook: w.cfg.OnRecord}),

@@ -1,0 +1,57 @@
+package swifi
+
+import (
+	"fmt"
+	"strconv"
+
+	"goofi/internal/campaign"
+	"goofi/internal/core"
+	"goofi/internal/thor"
+)
+
+// Deterministic: thor-backed targets keep the byte-identity guarantee.
+func (t *Target) Deterministic() bool { return true }
+
+// imageBytes reads the swifi fault-space size from target params.
+func imageBytes(cfg core.TargetConfig) (int, error) {
+	s := cfg.Param("image-bytes", "4096")
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("swifi: bad image-bytes %q", s)
+	}
+	return n, nil
+}
+
+func systemData(name string, cfg core.TargetConfig) (*campaign.TargetSystemData, error) {
+	n, err := imageBytes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return TargetSystemData(name, n), nil
+}
+
+func init() {
+	core.RegisterTarget(core.TargetInfo{
+		Kind: "swifi-preruntime",
+		// "swifi" is the legacy configure/submit kind; it keeps meaning
+		// the pre-runtime variant.
+		Aliases:       []string{"swifi"},
+		Description:   "THOR-S simulated board, faults written into the image before execution",
+		Algorithm:     core.PreRuntimeSWIFI.Name,
+		Deterministic: true,
+		New: func(cfg core.TargetConfig) (core.TargetSystem, error) {
+			return New(thor.DefaultConfig(), PreRuntime), nil
+		},
+		SystemData: systemData,
+	})
+	core.RegisterTarget(core.TargetInfo{
+		Kind:          "swifi-runtime",
+		Description:   "THOR-S simulated board, memory mutated in place at the trigger point",
+		Algorithm:     core.RuntimeSWIFI.Name,
+		Deterministic: true,
+		New: func(cfg core.TargetConfig) (core.TargetSystem, error) {
+			return New(thor.DefaultConfig(), Runtime), nil
+		},
+		SystemData: systemData,
+	})
+}
